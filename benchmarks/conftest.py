@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables through
+the experiment registry and reports how long the full pipeline (model
+zoo -> library planning -> GPU simulation -> analysis) takes.  The
+benchmarks double as a last-line reproduction check: each asserts the
+figure's headline shape property on the result it just produced.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    """Callable running an experiment by id with benchmark-friendly settings."""
+
+    def run(experiment_id: str, **kwargs):
+        return run_experiment(experiment_id, **kwargs)
+
+    return run
+
+
+def run_benchmarked(benchmark, experiment_id: str, **kwargs):
+    """Benchmark one experiment generator (single round, warm caches)."""
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs=kwargs, rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["measured"] = {
+        key: round(value, 4) for key, value in result.measured.items()
+    }
+    return result

@@ -1,0 +1,13 @@
+"""Figure 1: maximum slowdown per ResNet-50 layer, ACL GEMM on Mali G72."""
+
+from conftest import run_benchmarked
+
+
+def test_fig01_slowdown_heatmap(benchmark):
+    result = run_benchmarked(benchmark, "fig01", runs=1)
+    # The paper reports slowdowns up to ~2x when pruning up to 63 channels.
+    assert result.measured["max_value"] > 1.5
+    # No configuration within one channel of the original is catastrophically
+    # slower under the GEMM path (unlike the Direct path of Figure 10).
+    prune1_row = result.data["rows"][1]
+    assert all(value < 2.5 for value in prune1_row)

@@ -1,0 +1,14 @@
+"""Figure 2: cuDNN staircase for a ~1000-filter ResNet-50 layer on Jetson TX2."""
+
+from conftest import run_benchmarked
+
+
+def test_fig02_staircase_on_large_layer(benchmark):
+    result = run_benchmarked(benchmark, "fig02", runs=1, step=4)
+    times = result.data["times_ms"]
+    counts = result.data["channel_counts"]
+    assert counts[-1] == 1024
+    # Latency falls monotonically (within noise) as channels are pruned and
+    # spans several steps overall.
+    assert result.measured["spread"] > 3.0
+    assert times[0] < times[-1]

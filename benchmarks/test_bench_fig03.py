@@ -1,0 +1,10 @@
+"""Figure 3: two parallel staircases, ResNet-50 layer 16, ACL on Mali G72."""
+
+from conftest import run_benchmarked
+
+
+def test_fig03_two_parallel_staircases(benchmark):
+    result = run_benchmarked(benchmark, "fig03", runs=1)
+    # Adjacent channel counts can differ by ~1.6x: the second staircase.
+    assert result.measured["largest_adjacent_gap"] > 1.4
+    assert result.measured["spread"] > 2.0

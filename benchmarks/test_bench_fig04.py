@@ -1,0 +1,9 @@
+"""Figure 4: cuDNN staircase with a 1.3x step (ResNet-50 L16, Jetson TX2)."""
+
+from conftest import run_benchmarked
+
+
+def test_fig04_step_at_96_channels(benchmark):
+    result = run_benchmarked(benchmark, "fig04", runs=1)
+    assert abs(result.measured["step_ratio_96"] - 1.3) < 0.12
+    assert result.measured["step_ratio_64"] > 1.2

@@ -1,0 +1,14 @@
+"""Figure 5: cuDNN staircase with uneven steps (ResNet-50 L14, Jetson TX2)."""
+
+from conftest import run_benchmarked
+
+
+def test_fig05_uneven_stairs(benchmark):
+    result = run_benchmarked(benchmark, "fig05", runs=1, step=2)
+    times = result.data["times_ms"]
+    counts = result.data["channel_counts"]
+    series = dict(zip(counts, times))
+    # Flat across the top tile (385..512), falling below it.
+    assert abs(series[385] - series[511]) / series[511] < 0.05
+    assert series[255] < series[385]
+    assert result.measured["spread"] > 3.0

@@ -1,0 +1,10 @@
+"""Figure 6: cuDNN speedup heatmap over ResNet-50 layers on Jetson TX2."""
+
+from conftest import run_benchmarked
+
+
+def test_fig06_speedup_heatmap(benchmark):
+    result = run_benchmarked(benchmark, "fig06", runs=1)
+    # Up to ~3.3x at a pruning distance of 127 channels, never below 1.0.
+    assert 2.8 < result.measured["max_value"] < 4.5
+    assert result.measured["min_value"] >= 0.95

@@ -1,0 +1,9 @@
+"""Figure 7: the cuDNN staircase on the Jetson Nano (ResNet-50 L14)."""
+
+from conftest import run_benchmarked
+
+
+def test_fig07_nano_matches_tx2_pattern(benchmark):
+    result = run_benchmarked(benchmark, "fig07", runs=1, step=4)
+    # Same architecture family: the Nano is a constant factor slower.
+    assert 2.0 < result.measured["nano_vs_tx2_scaling"] < 4.5

@@ -1,0 +1,9 @@
+"""Figure 8: cuDNN speedup heatmap over VGG-16 layers on Jetson TX2."""
+
+from conftest import run_benchmarked
+
+
+def test_fig08_vgg_speedups(benchmark):
+    result = run_benchmarked(benchmark, "fig08", runs=1)
+    assert 1.8 < result.measured["max_value"] < 5.0
+    assert result.measured["min_value"] >= 0.9

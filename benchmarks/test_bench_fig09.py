@@ -1,0 +1,10 @@
+"""Figure 9: cuDNN speedup heatmap over AlexNet layers on Jetson TX2."""
+
+from conftest import run_benchmarked
+
+
+def test_fig09_alexnet_modest_speedups(benchmark):
+    result = run_benchmarked(benchmark, "fig09", runs=1)
+    # AlexNet's layers see only modest gains (paper: up to 1.4x).
+    assert 1.1 < result.measured["max_value"] < 2.6
+    assert result.measured["min_value"] >= 0.95

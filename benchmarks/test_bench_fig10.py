@@ -1,0 +1,11 @@
+"""Figure 10: ACL Direct convolution speedup heatmap over ResNet-50 layers."""
+
+from conftest import run_benchmarked
+
+
+def test_fig10_direct_conv_hazards_and_gains(benchmark):
+    result = run_benchmarked(benchmark, "fig10", runs=1)
+    # Pruning a single channel can be a big slowdown (paper: down to 0.2x)...
+    assert result.measured["min_value"] < 0.8
+    # ...while deep pruning reaches order-of-magnitude speedups (paper: 16.9x).
+    assert result.measured["max_value"] > 6.0

@@ -1,0 +1,10 @@
+"""Figure 11: ACL Direct convolution speedup heatmap over VGG-16 layers."""
+
+from conftest import run_benchmarked
+
+
+def test_fig11_vgg_direct_speedups(benchmark):
+    result = run_benchmarked(benchmark, "fig11", runs=1)
+    assert result.measured["max_value"] > 4.0
+    # VGG is all 3x3 layers, so the prune=1 hazard is milder than ResNet's.
+    assert result.measured["min_value"] > 0.5

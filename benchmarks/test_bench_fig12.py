@@ -1,0 +1,9 @@
+"""Figure 12: three alternating execution levels, ACL Direct, HiKey 970."""
+
+from conftest import run_benchmarked
+
+
+def test_fig12_three_execution_levels(benchmark):
+    result = run_benchmarked(benchmark, "fig12", runs=1)
+    assert result.measured["levels"] >= 3
+    assert 1.4 < result.measured["level_ratio"] < 2.6

@@ -1,0 +1,11 @@
+"""Figure 13: ACL GEMM speedup heatmap over ResNet-50 layers on HiKey 970."""
+
+from conftest import run_benchmarked
+
+
+def test_fig13_gemm_speedups_without_prune1_hazard(benchmark):
+    result = run_benchmarked(benchmark, "fig13", runs=1)
+    # Unlike Direct convolution there is no slowdown near the original size...
+    assert result.measured["min_value"] > 0.9
+    # ...and deep pruning reaches several-x speedups (paper: up to 5.2x).
+    assert result.measured["max_value"] > 3.0

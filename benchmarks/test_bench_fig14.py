@@ -1,0 +1,12 @@
+"""Figure 14: ACL GEMM parallel staircases with annotated channel pairs."""
+
+from conftest import run_benchmarked
+
+
+def test_fig14_annotated_channel_pairs(benchmark):
+    result = run_benchmarked(benchmark, "fig14", runs=1)
+    # Paper: 92 channels run in ~23 ms vs ~14 ms for 93-96 (1.64x).
+    assert abs(result.measured["gap_92_vs_93"] - 23.0 / 14.0) < 0.35
+    assert abs(result.measured["gap_97_vs_96"] - 23.0 / 14.0) < 0.45
+    # Paper: 78 channels run 1.83x faster than 76 despite having more channels.
+    assert result.measured["speedup_78_vs_76"] > 1.4

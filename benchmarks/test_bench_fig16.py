@@ -1,0 +1,13 @@
+"""Figure 16: ACL GEMM speedup heatmap over VGG-16 layers on HiKey 970."""
+
+from conftest import run_benchmarked
+
+
+def test_fig16_vgg_gemm_speedups(benchmark):
+    result = run_benchmarked(benchmark, "fig16", runs=1)
+    # Paper: up to 4.2x.  The analytical simulator overestimates the
+    # deep-pruning tail for VGG's large-feature-map layers (see
+    # EXPERIMENTS.md), so only the lower bound and the absence of a
+    # prune=1 hazard are asserted tightly.
+    assert result.measured["max_value"] > 2.0
+    assert result.measured["min_value"] > 0.9

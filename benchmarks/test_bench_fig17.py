@@ -1,0 +1,9 @@
+"""Figure 17: ACL GEMM speedup heatmap over AlexNet layers on HiKey 970."""
+
+from conftest import run_benchmarked
+
+
+def test_fig17_alexnet_gemm_speedups(benchmark):
+    result = run_benchmarked(benchmark, "fig17", runs=1)
+    assert 1.5 < result.measured["max_value"] < 4.0
+    assert result.measured["min_value"] > 0.9

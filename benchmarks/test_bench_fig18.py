@@ -1,0 +1,13 @@
+"""Figure 18: relative system-level counters for the GEMM split (L16)."""
+
+from conftest import run_benchmarked
+
+
+def test_fig18_system_counters(benchmark):
+    result = run_benchmarked(benchmark, "fig18")
+    # 92 and 97 channels dispatch twice the jobs of 93/96 and roughly double
+    # the control-register traffic, interrupts and runtime.
+    assert result.measured["jobs_92_relative"] == 2.0
+    assert result.measured["jobs_97_relative"] == 2.0
+    assert result.measured["jobs_96_relative"] == 1.0
+    assert result.measured["runtime_92_relative"] > 1.3

@@ -1,0 +1,10 @@
+"""Figure 20: TVM untuned-configuration spikes for ResNet-50 L14."""
+
+from conftest import run_benchmarked
+
+
+def test_fig20_fallback_spikes(benchmark):
+    result = run_benchmarked(benchmark, "fig20", runs=1)
+    # Paper: ~10.5x between untuned spikes and the tuned neighbourhood.
+    assert result.measured["local_spike_ratio"] > 5.0
+    assert 0.03 < result.measured["fallback_fraction"] < 0.4

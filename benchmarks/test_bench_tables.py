@@ -1,0 +1,43 @@
+"""Tables I-V: per-kernel instruction counts and workgroup sizes."""
+
+from conftest import run_benchmarked
+
+from repro.experiments.tables import PAPER_TABLE5, PAPER_TABLES
+
+
+def _assert_exact_match(result, channels):
+    expected = PAPER_TABLES[channels]
+    assert len(result.data["kernels"]) == len(expected)
+    for kernel, (name, arith, mem) in zip(result.data["kernels"], expected):
+        assert kernel["name"] == name
+        assert kernel["arithmetic_instructions"] == arith
+        assert kernel["memory_instructions"] == mem
+
+
+def test_table1_92_channels(benchmark):
+    result = run_benchmarked(benchmark, "table1")
+    _assert_exact_match(result, 92)
+
+
+def test_table2_93_channels(benchmark):
+    result = run_benchmarked(benchmark, "table2")
+    _assert_exact_match(result, 93)
+
+
+def test_table3_96_channels(benchmark):
+    result = run_benchmarked(benchmark, "table3")
+    _assert_exact_match(result, 96)
+
+
+def test_table4_97_channels(benchmark):
+    result = run_benchmarked(benchmark, "table4")
+    _assert_exact_match(result, 97)
+
+
+def test_table5_workgroup_sizes(benchmark):
+    result = run_benchmarked(benchmark, "table5")
+    for row in result.data["rows"]:
+        assert tuple(row["workgroup"]) == PAPER_TABLE5[row["channels"]][0]
+    # The narrow 1x1x8 configurations are slower despite ~1% more instructions.
+    assert result.measured["slowdown_91_vs_90"] > 1.05
+    assert result.measured["slowdown_93_vs_92"] > 1.05

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Pick convolutional layer sizes for a target platform at design time.
+
+The paper's second implication (Section I): "designing new neural
+network architectures for specific devices should consider the best
+sizes of convolutional layers for each library and hardware".  This
+example takes a layer *shape* (input channels, kernel, feature-map size)
+and asks, for each of the paper's four targets, which output channel
+counts give the most filters per millisecond — the sweet spots a network
+designer should snap to.
+
+Run with ``python examples/design_layer_sizes.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import DesignSpaceExplorer, best_library_for_layer, iter_default_targets
+from repro.models import ConvLayerSpec
+
+
+def main() -> None:
+    # A candidate block for a new mobile network: 3x3 convolution on a
+    # 28x28 feature map with 128 input channels, up to 160 filters.
+    template = ConvLayerSpec(
+        name="newnet.block3.conv", in_channels=128, out_channels=160,
+        kernel_size=3, stride=1, padding=1, input_hw=28,
+    )
+    targets = list(iter_default_targets())
+
+    explorer = DesignSpaceExplorer(targets=targets, runs=3)
+    print(explorer.format_report(template))
+
+    print("\nBest filters-per-millisecond choice per target:")
+    exploration = explorer.explore(template, top_k=1)
+    for (device, library), recommendations in exploration.items():
+        best = recommendations[0]
+        print(f"  {library:>11} on {device:<11} -> {best.out_channels:>4} filters "
+              f"({best.time_ms:.2f} ms, {best.channels_per_ms:.1f} ch/ms)")
+
+    if explorer.sweet_spots_differ(template):
+        print("\nThe best filter count differs across targets: a single architecture "
+              "cannot be optimal everywhere, so specialise per runtime environment.")
+
+    print("\nWhich target runs the full 160-filter layer fastest?")
+    ranking = best_library_for_layer(template, targets=targets, runs=3)
+    for device, library, time_ms in sorted(ranking.entries, key=lambda e: e[2]):
+        print(f"  {library:>11} on {device:<11} {time_ms:8.2f} ms")
+    device, library, time_ms = ranking.best
+    print(f"  -> winner: {library} on {device} ({time_ms:.2f} ms)")
+
+
+if __name__ == "__main__":
+    main()

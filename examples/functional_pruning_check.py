@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Verify that channel pruning is functionally exact on the NumPy substrate.
+
+The paper's Section II-B describes pruning channel ``p`` as deleting
+filter ``p`` and re-indexing the remaining filters contiguously.  That
+transformation is exact: the pruned layer's output is precisely the
+sub-tensor of the original output restricted to the kept channels.  This
+example demonstrates it numerically with both convolution methods
+(direct and im2col+GEMM), then runs a pruned AlexNet end-to-end to show
+the compact network still executes.
+
+Run with ``python examples/functional_pruning_check.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ChannelPruner, get_criterion
+from repro.models import ConvLayerSpec, build_model
+from repro.nn import InferenceEngine, conv_input, conv_weights
+
+
+def single_layer_check() -> None:
+    spec = ConvLayerSpec(
+        name="demo.conv", in_channels=16, out_channels=32,
+        kernel_size=3, stride=1, padding=1, input_hw=14,
+    )
+    inputs = conv_input(spec)
+    weights = conv_weights(spec)
+    pruner = ChannelPruner(get_criterion("l1"))
+    pruned = pruner.prune_weights(spec, keep=20, weights=weights)
+    kept = pruned["kept_channels"]
+
+    print(f"Layer {spec.name}: keeping {len(kept)} of {spec.out_channels} channels "
+          f"(L1-norm criterion)")
+    for method in ("gemm", "direct"):
+        engine = InferenceEngine(method=method)
+        full = engine.run_conv(spec, inputs, weights=weights)
+        compact = engine.run_conv(
+            spec.with_out_channels(len(kept)), inputs,
+            weights=pruned["weight"], bias=pruned["bias"],
+        )
+        error = float(np.abs(full[:, kept] - compact).max())
+        print(f"  {method:>6} convolution: max |full[kept] - pruned| = {error:.2e}")
+    print("  -> the pruned layer reproduces the kept channels exactly.\n")
+
+
+def whole_network_check() -> None:
+    network = build_model("alexnet")
+    pruner = ChannelPruner(get_criterion("sequential"))
+    # Prune every convolution except the last one, whose output feeds the
+    # fixed-size fully connected classifier.
+    prunable = network.conv_layer_indices[:-1]
+    plan = pruner.prune_uniform(network, fraction=0.25, layer_indices=prunable)
+    pruned_network = pruner.apply_plan(network, plan)
+
+    engine = InferenceEngine(method="gemm")
+    original_logits = engine.run_network(network, batch=1).output
+    pruned_logits = engine.run_network(pruned_network, batch=1).output
+
+    print("Whole-network check (AlexNet, 25% of channels pruned per layer):")
+    print(f"  original conv parameters: {network.total_conv_parameters:,}")
+    print(f"  pruned   conv parameters: {pruned_network.total_conv_parameters:,}")
+    print(f"  original output shape: {original_logits.shape}")
+    print(f"  pruned   output shape: {pruned_logits.shape}")
+    print("  -> the compact dense network executes end-to-end on the same input "
+          "pipeline (its logits differ, which is what retraining would recover).")
+
+
+def main() -> None:
+    single_layer_check()
+    whole_network_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare how each library responds to channel pruning of the same layer.
+
+Section V of the paper concludes that "no optimal library exists to
+outperform across all neural network layers".  This example sweeps one
+ResNet-50 layer across channel counts on every (device, library) target
+the paper evaluates and reports, for each: the latency at the original
+size, the best achievable speedup, the worst slowdown risked, and how
+many distinct latency levels the staircase has.
+
+Run with ``python examples/library_comparison.py [layer_index]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import latency_curve
+from repro.core import analyze_table
+from repro.models import build_model
+from repro.profiling import ProfileRunner, build_latency_table
+
+TARGETS = (
+    ("jetson-tx2", "cudnn"),
+    ("jetson-nano", "cudnn"),
+    ("hikey-970", "acl-gemm"),
+    ("hikey-970", "acl-direct"),
+    ("hikey-970", "tvm"),
+    ("odroid-xu4", "acl-gemm"),
+)
+
+
+def main() -> None:
+    layer_index = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    network = build_model("resnet50")
+    ref = network.conv_layer(layer_index)
+    spec = ref.spec
+    print(f"Layer {ref.label}: {spec.out_channels} filters, "
+          f"{spec.kernel_size}x{spec.kernel_size}, input {spec.input_hw}x{spec.input_hw}\n")
+    header = (f"{'target':>24} {'orig ms':>9} {'best ms':>9} {'best x':>7} "
+              f"{'worst x':>8} {'levels':>7}")
+    print(header)
+    print("-" * len(header))
+
+    for device, library in TARGETS:
+        runner = ProfileRunner.create(device, library, runs=3)
+        counts = list(range(1, spec.out_channels + 1, 2)) + [spec.out_channels]
+        table = build_latency_table(runner, spec, sorted(set(counts)))
+        curve = latency_curve(runner, spec, ref.label, channel_counts=sorted(set(counts)))
+        analysis = analyze_table(table)
+        original = table.time_ms(spec.out_channels)
+        best = curve.min_time_ms
+        worst = curve.max_time_ms
+        print(f"{library + '@' + device:>24} {original:>9.2f} {best:>9.2f} "
+              f"{original / best:>7.2f} {original / worst:>8.2f} "
+              f"{analysis.level_count:>7}")
+
+    print("\n'best x' is the speedup of the best pruning level; 'worst x' below 1.0 "
+          "means some pruning levels are slower than the unpruned layer "
+          "(the hazard the paper warns about).")
+
+
+if __name__ == "__main__":
+    main()

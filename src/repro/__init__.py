@@ -1,0 +1,53 @@
+"""repro — Performance-aware CNN channel pruning for embedded GPUs.
+
+A full reproduction of Radu et al., "Performance Aware Convolutional
+Neural Network Channel Pruning for Embedded GPUs" (IISWC 2019), built on
+an analytical embedded-GPU simulator instead of physical boards.
+
+Subpackages
+-----------
+``repro.models``
+    CNN model zoo (ResNet-50, VGG-16, AlexNet) as layer-spec graphs.
+``repro.nn``
+    NumPy reference convolution routines (direct and im2col+GEMM).
+``repro.gpusim``
+    Analytical embedded GPU simulator (Mali G72/T628, Jetson TX2/Nano).
+``repro.libraries``
+    Planning models of ACL GEMM, ACL Direct, cuDNN and TVM.
+``repro.profiling``
+    Kernel-event profilers, median-of-N measurement, latency tables.
+``repro.core``
+    The paper's contribution: staircase analysis and performance-aware
+    channel pruning (plus criteria, accuracy proxy and search).
+``repro.analysis``
+    Speedup matrices and latency curves (the figures' data).
+``repro.experiments``
+    One generator per paper figure/table (``python -m repro.experiments``).
+"""
+
+from . import analysis, core, experiments, gpusim, libraries, models, nn, profiling
+from .core import PerformanceAwarePruner
+from .gpusim import GpuSimulator, get_device
+from .libraries import get_library
+from .models import build_model
+from .profiling import ProfileRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GpuSimulator",
+    "PerformanceAwarePruner",
+    "ProfileRunner",
+    "__version__",
+    "analysis",
+    "build_model",
+    "core",
+    "experiments",
+    "get_device",
+    "get_library",
+    "gpusim",
+    "libraries",
+    "models",
+    "nn",
+    "profiling",
+]

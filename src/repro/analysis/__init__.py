@@ -1,0 +1,25 @@
+"""Analysis: speedup matrices, latency curves and report rendering."""
+
+from .curves import LatencyCurve, curve_from_table, latency_curve
+from .speedup import (
+    FIGURE1_PRUNE_DISTANCES,
+    PAPER_PRUNE_DISTANCES,
+    TVM_PRUNE_DISTANCES,
+    SpeedupMatrix,
+    best_speedup_at_distance,
+    speedup_matrix,
+    worst_slowdown_at_distance,
+)
+
+__all__ = [
+    "FIGURE1_PRUNE_DISTANCES",
+    "LatencyCurve",
+    "PAPER_PRUNE_DISTANCES",
+    "SpeedupMatrix",
+    "TVM_PRUNE_DISTANCES",
+    "best_speedup_at_distance",
+    "curve_from_table",
+    "latency_curve",
+    "speedup_matrix",
+    "worst_slowdown_at_distance",
+]

@@ -1,0 +1,17 @@
+"""Experiment generators: one per paper figure/table, plus proposal studies."""
+
+from .base import ExperimentResult
+from .registry import (
+    UnknownExperimentError,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "UnknownExperimentError",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

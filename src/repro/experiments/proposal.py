@@ -1,0 +1,263 @@
+"""Experiments for the paper's proposal (Section V).
+
+The evaluation figures characterise the problem; Section V proposes the
+fix: select the pruning level with hardware profiling in the loop,
+jointly with an accuracy signal.  These experiments quantify that
+proposal on the simulated targets:
+
+* ``proposal_comparison`` — performance-aware vs uninstructed pruning at
+  a matched compression fraction, per (device, library) target;
+* ``proposal_pareto`` — the latency/accuracy Pareto frontier that
+  profiling exposes for a subset of ResNet-50 layers;
+* ``ablation_criteria`` — runtime is independent of *which* channels are
+  removed (the observation that lets the paper prune sequentially);
+* ``ablation_dispatch_overhead`` — scaling the simulated job-dispatch
+  overhead scales the parallel-staircase gap, confirming the paper's
+  explanation of the ACL GEMM anomaly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..core.accuracy_model import default_accuracy_model
+from ..core.criteria import available_criteria, get_criterion
+from ..core.perf_aware import PerformanceAwarePruner
+from ..core.pruner import ChannelPruner
+from ..core.search import PruningSearch
+from ..gpusim.device import get_device
+from ..gpusim.simulator import GpuSimulator
+from ..libraries.base import get_library
+from ..models.zoo import build_model
+from ..nn.inference import InferenceEngine
+from ..nn.tensor import conv_input, conv_weights
+from .base import ExperimentResult, resnet_layer
+
+#: Layers used for the whole-network proposal experiments: a cross
+#: section of ResNet-50 shapes that keeps the experiments fast.
+PROPOSAL_LAYERS = (11, 12, 15, 16, 24, 29)
+
+#: The (device, library) targets compared by the proposal experiment.
+PROPOSAL_TARGETS = (
+    ("hikey-970", "acl-gemm"),
+    ("hikey-970", "acl-direct"),
+    ("hikey-970", "tvm"),
+    ("jetson-tx2", "cudnn"),
+)
+
+
+def proposal_comparison(fraction: float = 0.12, runs: int = 3) -> ExperimentResult:
+    """Performance-aware vs uninstructed pruning at ~12% compression.
+
+    The fraction matches the paper's motivating example ("pruning 12% of
+    the initial size is in some cases detrimental to performance").
+    """
+
+    network = build_model("resnet50")
+    rows = []
+    measured: Dict[str, float] = {}
+    for device_name, library_name in PROPOSAL_TARGETS:
+        pruner = PerformanceAwarePruner(device_name, library_name, runs=runs)
+        comparison = pruner.compare_with_uninstructed(
+            network, fraction, layer_indices=list(PROPOSAL_LAYERS)
+        )
+        aware = comparison.performance_aware
+        naive = comparison.uninstructed
+        rows.append(
+            {
+                "device": device_name,
+                "library": library_name,
+                "baseline_latency_ms": aware.baseline_latency_ms,
+                "uninstructed_latency_ms": naive.latency_ms,
+                "uninstructed_speedup": naive.speedup,
+                "aware_latency_ms": aware.latency_ms,
+                "aware_speedup": aware.speedup,
+                "advantage": comparison.latency_advantage,
+                "aware_accuracy": aware.predicted_accuracy,
+                "uninstructed_accuracy": naive.predicted_accuracy,
+            }
+        )
+        measured[f"{library_name}_uninstructed_speedup"] = naive.speedup
+        measured[f"{library_name}_advantage"] = comparison.latency_advantage
+
+    lines = [
+        f"Performance-aware vs uninstructed pruning ({fraction:.0%} per layer)",
+        f"{'target':>24} {'base ms':>9} {'naive ms':>9} {'naive x':>8} "
+        f"{'aware ms':>9} {'aware x':>8} {'advantage':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['library'] + '@' + row['device']:>24} "
+            f"{row['baseline_latency_ms']:>9.2f} {row['uninstructed_latency_ms']:>9.2f} "
+            f"{row['uninstructed_speedup']:>8.2f} {row['aware_latency_ms']:>9.2f} "
+            f"{row['aware_speedup']:>8.2f} {row['advantage']:>10.2f}"
+        )
+    paper = {
+        "acl-direct_uninstructed_speedup": 0.5,  # uninstructed pruning can slow down
+        "cudnn_uninstructed_speedup": 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="proposal_comparison",
+        title="Performance-aware vs uninstructed channel pruning",
+        description=(
+            "At a matched compression fraction, uninstructed pruning can slow the "
+            "network down (ACL Direct / TVM) while performance-aware selection never "
+            "does; profiling-in-the-loop keeps only configurations on the right side "
+            "of a performance step."
+        ),
+        data={"fraction": fraction, "rows": rows},
+        text="\n".join(lines),
+        measured=measured,
+        paper=paper,
+    )
+
+
+def proposal_pareto(runs: int = 3) -> ExperimentResult:
+    """Latency/accuracy Pareto frontier over step-optimal configurations."""
+
+    network = build_model("resnet50")
+    layer_indices = [15, 16]
+    pruner = PerformanceAwarePruner("hikey-970", "acl-gemm", runs=runs)
+    search = PruningSearch(
+        pruner=pruner,
+        network=network,
+        layer_indices=layer_indices,
+        max_levels_per_layer=6,
+    )
+    candidates = search.exhaustive()
+    frontier = search.frontier()
+
+    lines = [
+        "Latency/accuracy Pareto frontier (ResNet-50 L15+L16, ACL GEMM, HiKey 970)",
+        f"{'latency ms':>12} {'accuracy':>10} {'channels':>24}",
+    ]
+    for candidate in frontier:
+        channels = ", ".join(
+            f"L{index}={count}" for index, count in sorted(candidate.channels.items())
+        )
+        lines.append(
+            f"{candidate.latency_ms:>12.2f} {candidate.predicted_accuracy:>10.4f} {channels:>24}"
+        )
+    measured = {
+        "candidates": float(len(candidates)),
+        "frontier_size": float(len(frontier)),
+        "best_speedup": max(
+            candidate.latency_ms for candidate in candidates
+        ) / min(candidate.latency_ms for candidate in candidates),
+    }
+    return ExperimentResult(
+        experiment_id="proposal_pareto",
+        title="Profiling collapses the pruning search space to a Pareto frontier",
+        description=(
+            "Only step-optimal channel counts are evaluated for accuracy; the "
+            "frontier exposes the latency/accuracy trade-off of Section V."
+        ),
+        data={
+            "candidates": [dataclasses.asdict(candidate) for candidate in candidates],
+            "frontier": [dataclasses.asdict(candidate) for candidate in frontier],
+        },
+        text="\n".join(lines),
+        measured=measured,
+        paper={},
+    )
+
+
+def ablation_criteria(runs: int = 3) -> ExperimentResult:
+    """Latency is independent of which channels are pruned (criterion ablation)."""
+
+    ref = resnet_layer(16)
+    device = get_device("hikey-970")
+    library = get_library("acl-gemm")
+    simulator = GpuSimulator(device)
+    engine = InferenceEngine(method="gemm")
+    inputs = conv_input(ref.spec.with_in_channels(8).with_out_channels(16), batch=1)
+
+    keep = 96
+    rows = []
+    times = []
+    for name in available_criteria():
+        criterion = get_criterion(name)
+        pruner = ChannelPruner(criterion)
+        pruned_spec = pruner.prune_layer_spec(ref.spec, keep)
+        plan = library.plan(pruned_spec, device)
+        time_ms = simulator.run_time_ms(plan)
+        times.append(time_ms)
+        # Functional check on a small surrogate layer: pruning weights with any
+        # criterion still yields the exact sub-tensor of the unpruned output.
+        small_spec = ref.spec.with_in_channels(8).with_out_channels(16)
+        weights = conv_weights(small_spec)
+        pruned = pruner.prune_weights(small_spec, 12, weights=weights)
+        full_out = engine.run_conv(small_spec, inputs, weights=weights)
+        pruned_out = engine.run_conv(
+            small_spec.with_out_channels(12),
+            inputs,
+            weights=pruned["weight"],
+            bias=pruned["bias"],
+        )
+        kept = pruned["kept_channels"]
+        max_error = float(abs(full_out[:, kept] - pruned_out).max())
+        rows.append({"criterion": name, "time_ms": time_ms, "max_error": max_error})
+
+    spread = max(times) / min(times)
+    lines = [
+        f"Criterion ablation (ResNet-50 L16 pruned to {keep} channels, ACL GEMM)",
+        f"{'criterion':>12} {'time ms':>10} {'max functional error':>22}",
+    ]
+    lines.extend(
+        f"{row['criterion']:>12} {row['time_ms']:>10.3f} {row['max_error']:>22.2e}"
+        for row in rows
+    )
+    return ExperimentResult(
+        experiment_id="ablation_criteria",
+        title="Runtime does not depend on which channels are pruned",
+        description=(
+            "The paper prunes channels sequentially because the compact re-indexed "
+            "layer costs the same regardless of which filters were removed; all "
+            "importance criteria produce identical latency and exact functional "
+            "sub-tensors."
+        ),
+        data={"rows": rows, "keep": keep},
+        text="\n".join(lines),
+        measured={"latency_spread_across_criteria": spread},
+        paper={"latency_spread_across_criteria": 1.0},
+    )
+
+
+def ablation_dispatch_overhead(runs: int = 3) -> ExperimentResult:
+    """The parallel-staircase gap scales with the job-dispatch overhead."""
+
+    ref = resnet_layer(16)
+    library = get_library("acl-gemm")
+    base_device = get_device("hikey-970")
+    scales = (0.0, 0.5, 1.0, 2.0, 4.0)
+    rows: List[Dict[str, float]] = []
+    for scale in scales:
+        device = dataclasses.replace(
+            base_device,
+            job_dispatch_overhead_s=base_device.job_dispatch_overhead_s * scale,
+        )
+        simulator = GpuSimulator(device)
+        split_time = simulator.run_time_ms(library.plan_with_channels(ref.spec, 92, device))
+        single_time = simulator.run_time_ms(library.plan_with_channels(ref.spec, 93, device))
+        rows.append({"scale": scale, "gap": split_time / single_time})
+
+    lines = [
+        "Job-dispatch overhead ablation (ResNet-50 L16, 92 vs 93 channels)",
+        f"{'overhead scale':>15} {'92ch/93ch gap':>15}",
+    ]
+    lines.extend(f"{row['scale']:>15.1f} {row['gap']:>15.2f}" for row in rows)
+    gaps = [row["gap"] for row in rows]
+    return ExperimentResult(
+        experiment_id="ablation_dispatch_overhead",
+        title="The GEMM split penalty is driven by job-dispatch overhead",
+        description=(
+            "Scaling the simulated per-job dispatch overhead scales the gap between "
+            "the split (92-channel) and single-kernel (93-channel) configurations, "
+            "confirming the paper's Section IV-B explanation."
+        ),
+        data={"rows": rows},
+        text="\n".join(lines),
+        measured={"gap_increase_with_overhead": gaps[-1] - gaps[0]},
+        paper={},
+    )

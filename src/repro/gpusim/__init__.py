@@ -1,0 +1,54 @@
+"""Embedded GPU simulator: devices, kernels, execution model and metrics."""
+
+from .device import (
+    HIKEY_970,
+    JETSON_NANO,
+    JETSON_TX2,
+    ODROID_XU4,
+    DeviceSpec,
+    UnknownDeviceError,
+    available_devices,
+    get_device,
+)
+from .kernel import Kernel, KernelPlan, KernelPlanError, WorkgroupSize
+from .metrics import (
+    KernelInstructionRow,
+    RelativeSystemCounters,
+    WorkgroupRow,
+    format_instruction_table,
+    format_workgroup_table,
+    kernel_instruction_table,
+    relative_system_counters,
+)
+from .simulator import (
+    GpuSimulator,
+    KernelExecution,
+    SimulationResult,
+    SystemCounters,
+)
+
+__all__ = [
+    "HIKEY_970",
+    "JETSON_NANO",
+    "JETSON_TX2",
+    "ODROID_XU4",
+    "DeviceSpec",
+    "GpuSimulator",
+    "Kernel",
+    "KernelExecution",
+    "KernelInstructionRow",
+    "KernelPlan",
+    "KernelPlanError",
+    "RelativeSystemCounters",
+    "SimulationResult",
+    "SystemCounters",
+    "UnknownDeviceError",
+    "WorkgroupRow",
+    "WorkgroupSize",
+    "available_devices",
+    "format_instruction_table",
+    "format_workgroup_table",
+    "get_device",
+    "kernel_instruction_table",
+    "relative_system_counters",
+]

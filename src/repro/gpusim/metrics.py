@@ -1,0 +1,135 @@
+"""System-level metric reports built on top of the simulator.
+
+These helpers reproduce the Section IV-B analysis artefacts: the
+per-kernel instruction tables (Tables I-IV), the workgroup-size table
+(Table V) and the relative system-level counters (Figure 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from .kernel import KernelPlan
+from .simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class KernelInstructionRow:
+    """One row of a Table I-IV style kernel instruction report."""
+
+    kernel_name: str
+    arithmetic_instructions: int
+    memory_instructions: int
+
+
+def kernel_instruction_table(plan: KernelPlan) -> List[KernelInstructionRow]:
+    """Per-kernel instruction counts in dispatch order (Tables I-IV)."""
+
+    return [
+        KernelInstructionRow(
+            kernel_name=kernel.name,
+            arithmetic_instructions=kernel.arithmetic_instructions,
+            memory_instructions=kernel.memory_instructions,
+        )
+        for kernel in plan
+    ]
+
+
+def format_instruction_table(plan: KernelPlan, title: str = "") -> str:
+    """Render a kernel instruction table as fixed-width text."""
+
+    rows = kernel_instruction_table(plan)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'Kernel Name':<24} {'No Arithm. Instr.':>20} {'No Mem. Instr.':>18}")
+    for row in rows:
+        lines.append(
+            f"{row.kernel_name:<24} {row.arithmetic_instructions:>20,} "
+            f"{row.memory_instructions:>18,}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RelativeSystemCounters:
+    """Figure 18: system counters relative to a baseline configuration."""
+
+    label: str
+    jobs: float
+    control_register_reads: float
+    control_register_writes: float
+    interrupts: float
+    runtime: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs": self.jobs,
+            "control_register_reads": self.control_register_reads,
+            "control_register_writes": self.control_register_writes,
+            "interrupts": self.interrupts,
+            "runtime": self.runtime,
+        }
+
+
+def relative_system_counters(
+    results: Mapping[str, SimulationResult],
+    baseline_label: str,
+) -> List[RelativeSystemCounters]:
+    """Normalise counters of several simulation results against a baseline.
+
+    ``results`` maps a configuration label (e.g. ``"92 Channels"``) to its
+    simulation result; the baseline's counters become 1.0.
+    """
+
+    if baseline_label not in results:
+        raise KeyError(
+            f"baseline {baseline_label!r} not among results: {sorted(results)}"
+        )
+    baseline = results[baseline_label]
+    base_counters = baseline.counters
+    rows = []
+    for label, result in results.items():
+        counters = result.counters
+        rows.append(
+            RelativeSystemCounters(
+                label=label,
+                jobs=counters.jobs / base_counters.jobs,
+                control_register_reads=(
+                    counters.control_register_reads / base_counters.control_register_reads
+                ),
+                control_register_writes=(
+                    counters.control_register_writes / base_counters.control_register_writes
+                ),
+                interrupts=counters.interrupts / base_counters.interrupts,
+                runtime=result.total_time_s / baseline.total_time_s,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class WorkgroupRow:
+    """One row of a Table V style workgroup report."""
+
+    channels: int
+    workgroup: Sequence[int]
+    relative_instructions: float
+    time_ms: float
+
+
+def format_workgroup_table(rows: Sequence[WorkgroupRow]) -> str:
+    """Render a Table V style workgroup-size report."""
+
+    lines = [
+        f"{'Channels':>8} {'X':>3} {'Y':>3} {'Z':>3} "
+        f"{'Relative Instr.':>16} {'Time (ms)':>12}"
+    ]
+    for row in rows:
+        x, y, z = row.workgroup
+        lines.append(
+            f"{row.channels:>8} {x:>3} {y:>3} {z:>3} "
+            f"{row.relative_instructions:>16.3f} {row.time_ms:>12.4f}"
+        )
+    return "\n".join(lines)

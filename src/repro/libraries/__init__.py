@@ -1,0 +1,36 @@
+"""Deep-learning library planning models (ACL GEMM/Direct, cuDNN, TVM)."""
+
+from .acl_direct import AclDirectLibrary, channel_divisibility, select_workgroup
+from .acl_gemm import AclGemmLibrary, GemmSplit, pad_channels, split_columns
+from .base import (
+    ConvolutionLibrary,
+    LibraryError,
+    UnknownLibraryError,
+    available_libraries,
+    get_library,
+    register_library,
+)
+from .cudnn import CudnnLibrary, padded_channels, select_tile
+from .tvm import ScheduleClass, TvmLibrary, schedule_class
+
+__all__ = [
+    "AclDirectLibrary",
+    "AclGemmLibrary",
+    "ConvolutionLibrary",
+    "CudnnLibrary",
+    "GemmSplit",
+    "LibraryError",
+    "ScheduleClass",
+    "TvmLibrary",
+    "UnknownLibraryError",
+    "available_libraries",
+    "channel_divisibility",
+    "get_library",
+    "pad_channels",
+    "padded_channels",
+    "register_library",
+    "schedule_class",
+    "select_tile",
+    "select_workgroup",
+    "split_columns",
+]

@@ -1,0 +1,142 @@
+"""Arm Compute Library (v19.02) Direct convolution planning model.
+
+Section IV-A.2 and IV-B.2 of the paper characterise ACL's direct
+convolution path:
+
+* the convolution is dispatched as a single kernel (no job splits), but
+  the library selects the OpenCL **workgroup size** from a small set of
+  candidates based on the layer shape, and that selection — invisible to
+  the user — determines performance (Table V: 90 channels -> 2x1x8,
+  91 -> 1x1x8, 92 -> 4x1x1, 93 -> 1x1x8);
+* the result is **three alternating execution levels** (Figure 12) and
+  dramatic slowdowns when pruning only one channel from layers whose
+  original channel count is a multiple of the vector width (Figure 10
+  shows 0.2x-0.9x "speedups", i.e. up to 5x slowdowns, with the 1x1
+  layers hit hardest).
+
+The model: the workgroup is chosen by channel divisibility (the rule
+that reproduces Table V), and the kernel's SIMD-lane utilisation and
+cache locality depend on that choice.  1x1 convolutions vectorise over
+output channels, so a channel count that is not a multiple of 4 forces
+the narrow variants and costs far more than the ~1% extra instructions
+would suggest; 3x3 convolutions vectorise over the spatial window and
+only pay a modest penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import Kernel, KernelPlan, WorkgroupSize
+from ..models.layers import ConvLayerSpec
+from .base import ConvolutionLibrary, register_library
+
+#: Executed instructions per multiply-accumulate of the direct kernel.
+#: Direct convolution is a deep scalar loop nest with explicit address
+#: arithmetic, which is why the paper finds it "generally slower than
+#: all the other methods".
+DIRECT_ARITH_PER_MAC = 24
+DIRECT_MEM_PER_MAC = 2
+
+#: Additional per-output-element bookkeeping instructions (loop setup,
+#: bias add, output address computation) that do not vectorise.
+DIRECT_ARITH_PER_OUTPUT = 16
+
+#: Workgroup candidates the library selects between (Table V).
+WORKGROUP_BY_DIVISIBILITY = {
+    4: WorkgroupSize(4, 1, 1),
+    2: WorkgroupSize(2, 1, 8),
+    1: WorkgroupSize(1, 1, 8),
+}
+
+#: SIMD-lane utilisation of the kernel by (vector width the channel
+#: count supports, kernel size class).  1x1 kernels vectorise over
+#: output channels; larger kernels vectorise over the filter window.
+_POINTWISE_EFFICIENCY = {4: 1.0, 2: 0.62, 1: 0.42}
+_SPATIAL_EFFICIENCY = {4: 1.0, 2: 0.93, 1: 0.82}
+
+#: Cache locality of the selected workgroup: workgroups with a single
+#: output column (x == 1) cannot reuse input rows across neighbouring
+#: work items; the effect is worst on large feature maps.
+_LOCALITY_WIDE = 1.0
+_LOCALITY_NARROW_SMALL_MAP = 0.7
+_LOCALITY_NARROW_LARGE_MAP = 0.35
+_LARGE_MAP_THRESHOLD = 56
+
+
+def channel_divisibility(out_channels: int) -> int:
+    """Largest supported vector width (4, 2 or 1) dividing the channels."""
+
+    if out_channels % 4 == 0:
+        return 4
+    if out_channels % 2 == 0:
+        return 2
+    return 1
+
+
+def select_workgroup(layer: ConvLayerSpec) -> WorkgroupSize:
+    """ACL's workgroup-size choice for a direct convolution layer."""
+
+    return WORKGROUP_BY_DIVISIBILITY[channel_divisibility(layer.out_channels)]
+
+
+def kernel_efficiency(layer: ConvLayerSpec) -> Tuple[float, float]:
+    """(vector_efficiency, memory_locality) of the direct kernel."""
+
+    divisibility = channel_divisibility(layer.out_channels)
+    if layer.kernel_size == 1:
+        vector_efficiency = _POINTWISE_EFFICIENCY[divisibility]
+    else:
+        vector_efficiency = _SPATIAL_EFFICIENCY[divisibility]
+
+    workgroup = select_workgroup(layer)
+    if workgroup.x >= 2:
+        locality = _LOCALITY_WIDE
+    elif layer.input_hw >= _LARGE_MAP_THRESHOLD:
+        locality = _LOCALITY_NARROW_LARGE_MAP
+    else:
+        locality = _LOCALITY_NARROW_SMALL_MAP
+    return vector_efficiency, locality
+
+
+@register_library
+class AclDirectLibrary(ConvolutionLibrary):
+    """ACL v19.02 Direct convolution planner for Mali GPUs."""
+
+    name = "acl-direct"
+    api = "opencl"
+    version = "v19.02"
+
+    def instructions(self, layer: ConvLayerSpec) -> Tuple[int, int]:
+        """(arithmetic, memory) executed instructions of the kernel."""
+
+        arith = (
+            DIRECT_ARITH_PER_MAC * layer.macs
+            + DIRECT_ARITH_PER_OUTPUT * layer.output_activation_count
+        )
+        mem = DIRECT_MEM_PER_MAC * layer.macs
+        return arith, mem
+
+    def plan(self, layer: ConvLayerSpec, device: DeviceSpec) -> KernelPlan:
+        self.check_device(device)
+        workgroup = select_workgroup(layer)
+        vector_efficiency, locality = kernel_efficiency(layer)
+        arith, mem = self.instructions(layer)
+        kernel = Kernel(
+            name=f"direct_convolution{layer.kernel_size}x{layer.kernel_size}_nhwc",
+            arithmetic_instructions=arith,
+            memory_instructions=mem,
+            work_items=layer.output_activation_count,
+            workgroup=workgroup,
+            vector_efficiency=vector_efficiency,
+            memory_locality=locality,
+            dispatches_job=True,
+            tag="direct",
+        )
+        notes = (
+            f"workgroup={workgroup} divisibility={channel_divisibility(layer.out_channels)}"
+        )
+        return KernelPlan(
+            library=self.name, layer_name=layer.name, kernels=(kernel,), notes=notes
+        )

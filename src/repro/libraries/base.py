@@ -1,0 +1,105 @@
+"""Common interface for the deep-learning library models.
+
+Each library model reproduces the *planning heuristics* of one of the
+libraries the paper characterises (Arm Compute Library GEMM and Direct
+convolution, cuDNN, TVM): given a convolutional layer specification and
+a target device it decides which kernels to dispatch, how much work each
+performs, which workgroup sizes to use and how many GPU jobs are
+created.  The resulting :class:`~repro.gpusim.kernel.KernelPlan` is then
+costed by the GPU simulator.
+
+The split between *planner* (this package) and *simulator*
+(:mod:`repro.gpusim`) mirrors the paper's methodology: the unintuitive
+latency patterns are caused by library decisions, which the paper makes
+visible by replaying them on a Mali GPU simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Type
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelPlan
+from ..models.layers import ConvLayerSpec
+
+
+class LibraryError(ValueError):
+    """Raised when a library cannot plan a layer (wrong API, bad shape)."""
+
+
+class UnknownLibraryError(KeyError):
+    """Raised when a library name is not registered."""
+
+
+class ConvolutionLibrary(abc.ABC):
+    """Base class for library planning models."""
+
+    #: Registry name, e.g. ``"acl-gemm"``.
+    name: str = ""
+    #: Programming API the library targets (``"opencl"`` or ``"cuda"``).
+    api: str = ""
+    #: Library version the heuristics were modelled after.
+    version: str = ""
+
+    def check_device(self, device: DeviceSpec) -> None:
+        """Raise :class:`LibraryError` if the device API does not match."""
+
+        if device.api != self.api:
+            raise LibraryError(
+                f"{self.name} targets {self.api} devices, but {device.board} "
+                f"({device.name}) is a {device.api} device"
+            )
+
+    @abc.abstractmethod
+    def plan(self, layer: ConvLayerSpec, device: DeviceSpec) -> KernelPlan:
+        """Plan the kernels dispatched to run one inference of ``layer``."""
+
+    def plan_with_channels(
+        self, layer: ConvLayerSpec, out_channels: int, device: DeviceSpec
+    ) -> KernelPlan:
+        """Plan the layer after pruning it to ``out_channels`` filters."""
+
+        return self.plan(layer.with_out_channels(out_channels), device)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} api={self.api!r}>"
+
+
+_REGISTRY: Dict[str, Type[ConvolutionLibrary]] = {}
+
+_ALIASES: Dict[str, str] = {
+    "acl": "acl-gemm",
+    "arm-compute-library": "acl-gemm",
+    "acl_gemm": "acl-gemm",
+    "acl_direct": "acl-direct",
+    "cudnn7": "cudnn",
+    "tvm-opencl": "tvm",
+}
+
+
+def register_library(cls: Type[ConvolutionLibrary]) -> Type[ConvolutionLibrary]:
+    """Class decorator adding a library model to the registry."""
+
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_libraries() -> List[str]:
+    """Registered library names, sorted."""
+
+    return sorted(_REGISTRY)
+
+
+def get_library(name: str) -> ConvolutionLibrary:
+    """Instantiate a library model by name or alias."""
+
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise UnknownLibraryError(
+            f"unknown library {name!r}; available: {available_libraries()}"
+        )
+    return _REGISTRY[key]()

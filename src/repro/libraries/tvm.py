@@ -1,0 +1,137 @@
+"""TVM (0.6) OpenCL code-generator planning model for Mali GPUs.
+
+Section IV-A.4 of the paper finds an "atypical behavior pattern" for
+TVM-generated OpenCL code: most channel counts are served by an
+efficient GEMM-style schedule, but a significant number of
+configurations are *untuned out of the box* and fall back to a
+direct-convolution-style schedule that is roughly an order of magnitude
+slower (Figure 20 shows a 10.5x spread for ResNet-50 layer 14; Figure 19
+shows per-layer outcomes ranging from 0.0x — i.e. dramatic slowdowns
+when pruning lands on an untuned size — up to 13.9x speedups).
+
+Model: whether a configuration is covered by the out-of-box tuning log
+is a deterministic, pseudo-random function of the full layer
+configuration — mirroring the practical experience that, from the
+user's point of view, which sizes happen to be tuned is essentially
+arbitrary.  Crucially this includes the *original* (unpruned) sizes:
+Figure 19's 13.9x speedups and 0.0x slowdowns both arise because the
+tuning log covers neither all pruned sizes nor all stock sizes.  Untuned
+sizes use the fallback schedule; a further fraction use a mediocre
+schedule that is tuned but poorly matched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from enum import Enum
+from typing import Tuple
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import Kernel, KernelPlan, WorkgroupSize
+from ..models.layers import ConvLayerSpec, round_up
+from .base import ConvolutionLibrary, register_library
+
+#: Executed instructions per MAC of the tuned (GEMM-style) schedule.
+TVM_TUNED_ARITH_PER_MAC = 10
+TVM_TUNED_MEM_PER_MAC = 1
+
+#: Executed instructions per MAC of the fallback (direct-style) schedule.
+TVM_FALLBACK_ARITH_PER_MAC = 26
+TVM_FALLBACK_MEM_PER_MAC = 3
+
+#: SIMD-lane utilisation of each schedule class.
+TVM_TUNED_EFFICIENCY = 1.0
+TVM_MEDIOCRE_EFFICIENCY = 0.45
+TVM_FALLBACK_EFFICIENCY = 0.22
+
+#: Out of 100 pseudo-random buckets: configurations falling in the first
+#: ``FALLBACK_BUCKETS`` use the fallback schedule, the next
+#: ``MEDIOCRE_BUCKETS`` a mediocre schedule, the rest a tuned schedule.
+FALLBACK_BUCKETS = 18
+MEDIOCRE_BUCKETS = 12
+
+#: Salt of the pseudo-random bucket hash (identifies the tuning-log
+#: snapshot the model represents).
+TUNING_LOG_SALT = "mali:"
+
+
+class ScheduleClass(Enum):
+    """Quality class of the schedule TVM emits for a configuration."""
+
+    TUNED = "tuned"
+    MEDIOCRE = "mediocre"
+    FALLBACK = "fallback"
+
+
+def configuration_bucket(layer: ConvLayerSpec) -> int:
+    """Deterministic pseudo-random bucket (0..99) of a configuration."""
+
+    signature = (
+        f"{TUNING_LOG_SALT}{layer.in_channels}x{layer.kernel_size}s{layer.stride}"
+        f"h{layer.input_hw}c{layer.out_channels}"
+    )
+    digest = hashlib.sha256(signature.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") % 100
+
+
+def schedule_class(layer: ConvLayerSpec) -> ScheduleClass:
+    """Which schedule class TVM uses for this layer configuration."""
+
+    bucket = configuration_bucket(layer)
+    if bucket < FALLBACK_BUCKETS:
+        return ScheduleClass.FALLBACK
+    if bucket < FALLBACK_BUCKETS + MEDIOCRE_BUCKETS:
+        return ScheduleClass.MEDIOCRE
+    return ScheduleClass.TUNED
+
+
+@register_library
+class TvmLibrary(ConvolutionLibrary):
+    """TVM 0.6 OpenCL code-generator planner for Mali GPUs."""
+
+    name = "tvm"
+    api = "opencl"
+    version = "0.6"
+
+    def instructions(self, layer: ConvLayerSpec) -> Tuple[int, int, ScheduleClass]:
+        """(arithmetic, memory, schedule class) of the generated kernel."""
+
+        klass = schedule_class(layer)
+        padded_channels = round_up(layer.out_channels, 4)
+        padded_macs = layer.macs_per_output_element * padded_channels * layer.output_pixels
+        if klass is ScheduleClass.FALLBACK:
+            arith = TVM_FALLBACK_ARITH_PER_MAC * padded_macs
+            mem = TVM_FALLBACK_MEM_PER_MAC * padded_macs
+        else:
+            arith = TVM_TUNED_ARITH_PER_MAC * padded_macs
+            mem = TVM_TUNED_MEM_PER_MAC * padded_macs
+        return arith, mem, klass
+
+    def plan(self, layer: ConvLayerSpec, device: DeviceSpec) -> KernelPlan:
+        self.check_device(device)
+        arith, mem, klass = self.instructions(layer)
+        if klass is ScheduleClass.TUNED:
+            efficiency = TVM_TUNED_EFFICIENCY
+            workgroup = WorkgroupSize(16, 4, 1)
+        elif klass is ScheduleClass.MEDIOCRE:
+            efficiency = TVM_MEDIOCRE_EFFICIENCY
+            workgroup = WorkgroupSize(4, 4, 1)
+        else:
+            efficiency = TVM_FALLBACK_EFFICIENCY
+            workgroup = WorkgroupSize(1, 1, 8)
+        kernel = Kernel(
+            name=f"tvm_conv2d_{klass.value}",
+            arithmetic_instructions=arith,
+            memory_instructions=mem,
+            work_items=layer.output_activation_count,
+            workgroup=workgroup,
+            vector_efficiency=efficiency,
+            dispatches_job=True,
+            tag=klass.value,
+        )
+        return KernelPlan(
+            library=self.name,
+            layer_name=layer.name,
+            kernels=(kernel,),
+            notes=f"schedule={klass.value} bucket={configuration_bucket(layer)}",
+        )

@@ -1,0 +1,75 @@
+"""Model zoo: the three networks the paper profiles, by name.
+
+The zoo also exposes the *profiled layer sets* used throughout the
+experiments — for each network, the convolutional layers with unique
+shapes whose pruning behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from . import alexnet, resnet50, vgg16
+from .graph import ConvLayerRef, Network
+
+
+class UnknownModelError(KeyError):
+    """Raised when a model name is not present in the zoo."""
+
+
+_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "resnet50": resnet50.build_resnet50,
+    "vgg16": vgg16.build_vgg16,
+    "alexnet": alexnet.build_alexnet,
+}
+
+_PROFILED_INDICES: Dict[str, Tuple[int, ...]] = {
+    "resnet50": resnet50.PROFILED_LAYER_INDICES,
+    "vgg16": vgg16.PROFILED_LAYER_INDICES,
+    "alexnet": alexnet.PROFILED_LAYER_INDICES,
+}
+
+#: Aliases accepted by :func:`build_model` (paper-style capitalisation).
+_ALIASES: Dict[str, str] = {
+    "resnet": "resnet50",
+    "resnet-50": "resnet50",
+    "vgg": "vgg16",
+    "vgg-16": "vgg16",
+}
+
+
+def available_models() -> List[str]:
+    """Names of the models in the zoo, sorted."""
+
+    return sorted(_BUILDERS)
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases and capitalisation to a canonical zoo name."""
+
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BUILDERS:
+        raise UnknownModelError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    return key
+
+
+def build_model(name: str) -> Network:
+    """Build a network from the zoo by name (aliases accepted)."""
+
+    return _BUILDERS[canonical_name(name)]()
+
+
+def profiled_layer_indices(name: str) -> Tuple[int, ...]:
+    """Indices of the layers the paper profiles for the given model."""
+
+    return _PROFILED_INDICES[canonical_name(name)]
+
+
+def profiled_layer_refs(name: str) -> List[ConvLayerRef]:
+    """Profiled layers of a model as :class:`ConvLayerRef` objects."""
+
+    network = build_model(name)
+    return [network.conv_layer(index) for index in profiled_layer_indices(name)]

@@ -1,0 +1,51 @@
+"""NumPy compute substrate: reference convolution routines and operators."""
+
+from .direct_conv import direct_conv2d, direct_conv2d_for_spec
+from .gemm_conv import gemm_conv2d, gemm_conv2d_for_spec, gemm_dimensions
+from .im2col import im2col, im2col_for_spec, im2col_output_shape, memory_expansion_factor
+from .inference import InferenceEngine, InferenceResult, prune_weights, run_single_layer
+from .ops import (
+    activation,
+    batch_norm,
+    dropout,
+    fully_connected,
+    global_average_pool,
+    pool2d,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from .tensor import DTYPE, conv_bias, conv_input, conv_weights, random_tensor, seed_from_name
+
+__all__ = [
+    "DTYPE",
+    "InferenceEngine",
+    "InferenceResult",
+    "activation",
+    "batch_norm",
+    "conv_bias",
+    "conv_input",
+    "conv_weights",
+    "direct_conv2d",
+    "direct_conv2d_for_spec",
+    "dropout",
+    "fully_connected",
+    "gemm_conv2d",
+    "gemm_conv2d_for_spec",
+    "gemm_dimensions",
+    "global_average_pool",
+    "im2col",
+    "im2col_for_spec",
+    "im2col_output_shape",
+    "memory_expansion_factor",
+    "pool2d",
+    "prune_weights",
+    "random_tensor",
+    "relu",
+    "run_single_layer",
+    "seed_from_name",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

@@ -1,0 +1,81 @@
+"""Direct convolution: the "deep nested loop" method.
+
+Section II-A of the paper describes direct convolution as shifting each
+filter one position at a time over the input image.  It needs the least
+extra memory but is slow.  The reference implementation below is written
+as an explicit loop nest over output channels and kernel positions — it
+is intentionally structured like the GPU kernel it stands in for, while
+still using vectorised inner arithmetic so the test-suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.layers import ConvLayerSpec
+from .tensor import DTYPE, pad_input
+
+
+def direct_conv2d(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Compute a 2D convolution with the direct (loop-nest) method.
+
+    ``inputs`` is NCHW, ``weights`` is ``(out_c, in_c, k, k)``, the
+    result is ``(batch, out_c, out_h, out_w)``.
+    """
+
+    if inputs.ndim != 4 or weights.ndim != 4:
+        raise ValueError(
+            f"direct_conv2d expects 4D inputs/weights, got {inputs.shape} / {weights.shape}"
+        )
+    batch, in_channels, height, width = inputs.shape
+    out_channels, weight_in_channels, kernel_size, kernel_size_w = weights.shape
+    if kernel_size != kernel_size_w:
+        raise ValueError(f"only square kernels are supported, got {weights.shape}")
+    if in_channels != weight_in_channels:
+        raise ValueError(
+            f"input has {in_channels} channels but weights expect {weight_in_channels}"
+        )
+
+    padded = pad_input(inputs, padding)
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("convolution produces an empty output")
+
+    outputs = np.zeros((batch, out_channels, out_h, out_w), dtype=DTYPE)
+    # Loop over the receptive field; accumulate shifted input slices.
+    # This mirrors the direct-convolution kernel's loop nest with the
+    # spatial output positions forming the innermost (vectorised) work.
+    for ky in range(kernel_size):
+        for kx in range(kernel_size):
+            window = padded[
+                :,
+                :,
+                ky : ky + stride * out_h : stride,
+                kx : kx + stride * out_w : stride,
+            ]
+            # (batch, in_c, out_h, out_w) x (out_c, in_c) -> (batch, out_c, out_h, out_w)
+            outputs += np.einsum(
+                "bihw,oi->bohw", window, weights[:, :, ky, kx], optimize=True
+            ).astype(DTYPE)
+
+    if bias is not None:
+        outputs += bias.reshape(1, -1, 1, 1).astype(DTYPE)
+    return outputs
+
+
+def direct_conv2d_for_spec(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    spec: ConvLayerSpec,
+) -> np.ndarray:
+    """Direct convolution using the geometry of a layer specification."""
+
+    return direct_conv2d(inputs, weights, bias, stride=spec.stride, padding=spec.padding)

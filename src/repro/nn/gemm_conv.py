@@ -1,0 +1,71 @@
+"""GEMM convolution: im2col followed by matrix-matrix multiplication.
+
+This is the faster of the two reference methods (Section II-A of the
+paper) and the one whose library implementations (ACL GEMM, cuDNN
+implicit GEMM, TVM schedules) the paper characterises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.layers import ConvLayerSpec
+from .im2col import im2col
+from .tensor import DTYPE
+
+
+def gemm_conv2d(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Compute a 2D convolution with the im2col + GEMM method."""
+
+    if inputs.ndim != 4 or weights.ndim != 4:
+        raise ValueError(
+            f"gemm_conv2d expects 4D inputs/weights, got {inputs.shape} / {weights.shape}"
+        )
+    batch, in_channels, height, width = inputs.shape
+    out_channels, weight_in_channels, kernel_size, _ = weights.shape
+    if in_channels != weight_in_channels:
+        raise ValueError(
+            f"input has {in_channels} channels but weights expect {weight_in_channels}"
+        )
+
+    columns = im2col(inputs, kernel_size, stride, padding)
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
+
+    # Filters unrolled into rows: (out_c, in_c * k * k).
+    filter_matrix = weights.reshape(out_channels, -1).astype(DTYPE)
+    # Batched GEMM: (out_c, K) x (batch, K, N) -> (batch, out_c, N)
+    products = np.einsum("ok,bkn->bon", filter_matrix, columns, optimize=True)
+    outputs = products.reshape(batch, out_channels, out_h, out_w).astype(DTYPE)
+
+    if bias is not None:
+        outputs += bias.reshape(1, -1, 1, 1).astype(DTYPE)
+    return outputs
+
+
+def gemm_conv2d_for_spec(
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    spec: ConvLayerSpec,
+) -> np.ndarray:
+    """GEMM convolution using the geometry of a layer specification."""
+
+    return gemm_conv2d(inputs, weights, bias, stride=spec.stride, padding=spec.padding)
+
+
+def gemm_dimensions(spec: ConvLayerSpec) -> tuple[int, int, int]:
+    """The (M, K, N) dimensions of the convolution-as-GEMM problem.
+
+    M is the number of filters (output channels), K the unrolled patch
+    size and N the number of output pixels.
+    """
+
+    rows, cols = spec.im2col_matrix_shape
+    return (spec.out_channels, rows, cols)

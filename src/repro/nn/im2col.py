@@ -1,0 +1,88 @@
+"""image2col unrolling, the first stage of the GEMM convolution method.
+
+The paper (Section II-A) describes the GEMM method as unrolling each
+input patch into a column of a large matrix while filters are unrolled
+into rows, after which the whole convolution is a single matrix-matrix
+multiplication.  This module implements exactly that transformation and
+its inverse bookkeeping (column counts, memory expansion factor).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..models.layers import ConvLayerSpec
+from .tensor import pad_input
+
+
+def im2col(
+    inputs: np.ndarray,
+    kernel_size: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Unroll an NCHW tensor into a patch matrix.
+
+    Returns an array of shape ``(batch, in_c * k * k, out_h * out_w)``:
+    one column per output spatial position, one row per element of the
+    receptive field.
+    """
+
+    if inputs.ndim != 4:
+        raise ValueError(f"im2col expects an NCHW tensor, got shape {inputs.shape}")
+    batch, channels, height, width = inputs.shape
+    padded = pad_input(inputs, padding)
+    out_h = (height + 2 * padding - kernel_size) // stride + 1
+    out_w = (width + 2 * padding - kernel_size) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"im2col produces an empty output for input {inputs.shape}, "
+            f"kernel={kernel_size}, stride={stride}, padding={padding}"
+        )
+
+    # Gather windows with stride tricks, then reshape to the column matrix.
+    strides = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, channels, out_h, out_w, kernel_size, kernel_size),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    # (batch, channels, k, k, out_h, out_w) -> (batch, channels*k*k, out_h*out_w)
+    columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel_size * kernel_size, out_h * out_w
+    )
+    return np.ascontiguousarray(columns)
+
+
+def im2col_for_spec(inputs: np.ndarray, spec: ConvLayerSpec) -> np.ndarray:
+    """Unroll inputs according to a convolution layer specification."""
+
+    return im2col(inputs, spec.kernel_size, spec.stride, spec.padding)
+
+
+def im2col_output_shape(spec: ConvLayerSpec) -> Tuple[int, int]:
+    """Shape of the per-image patch matrix (rows, columns)."""
+
+    return spec.im2col_matrix_shape
+
+
+def memory_expansion_factor(spec: ConvLayerSpec) -> float:
+    """How much larger the patch matrix is than the raw input.
+
+    Section IV-A.2 of the paper notes this is "almost one order of
+    magnitude more memory for a 3x3 filter" — for a stride-1 padded 3x3
+    convolution the factor is ~9, which is what this helper reports.
+    """
+
+    rows, cols = spec.im2col_matrix_shape
+    return (rows * cols) / float(spec.input_activation_count)

@@ -1,0 +1,151 @@
+"""Whole-network forward inference over the NumPy substrate.
+
+Used by the examples and integration tests to demonstrate that pruned
+networks remain executable end-to-end and that pruning a layer's output
+channels produces exactly the sub-tensor of the unpruned activations for
+the kept channels (the functional-equivalence property the paper's
+"re-indexing" description implies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from ..models.graph import Network
+from ..models.layers import (
+    ActivationLayerSpec,
+    BatchNormLayerSpec,
+    ConvLayerSpec,
+    DropoutLayerSpec,
+    FullyConnectedLayerSpec,
+    LayerSpec,
+    PoolLayerSpec,
+)
+from . import ops
+from .direct_conv import direct_conv2d_for_spec
+from .gemm_conv import gemm_conv2d_for_spec
+from .tensor import conv_bias, conv_input, conv_weights, random_tensor
+
+ConvMethod = Literal["gemm", "direct"]
+
+
+@dataclass
+class InferenceResult:
+    """Output of a forward pass plus intermediate activations."""
+
+    output: np.ndarray
+    activations: Dict[str, np.ndarray]
+
+
+class InferenceEngine:
+    """Execute a :class:`Network` layer by layer on NumPy tensors."""
+
+    def __init__(self, method: ConvMethod = "gemm") -> None:
+        if method not in ("gemm", "direct"):
+            raise ValueError(f"unknown convolution method {method!r}")
+        self.method = method
+
+    # ------------------------------------------------------------------
+    def run_layer(self, spec: LayerSpec, inputs: np.ndarray) -> np.ndarray:
+        """Execute a single layer spec on the given inputs."""
+
+        if isinstance(spec, ConvLayerSpec):
+            return self.run_conv(spec, inputs)
+        if isinstance(spec, PoolLayerSpec):
+            return ops.pool2d(inputs, spec)
+        if isinstance(spec, ActivationLayerSpec):
+            return ops.activation(inputs, spec)
+        if isinstance(spec, BatchNormLayerSpec):
+            return ops.batch_norm(inputs, spec)
+        if isinstance(spec, DropoutLayerSpec):
+            return ops.dropout(inputs, spec)
+        if isinstance(spec, FullyConnectedLayerSpec):
+            return ops.fully_connected(inputs, spec)
+        raise TypeError(f"unsupported layer spec type: {type(spec).__name__}")
+
+    def run_conv(
+        self,
+        spec: ConvLayerSpec,
+        inputs: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Execute a convolution with the engine's configured method."""
+
+        if weights is None:
+            weights = conv_weights(spec)
+        if bias is None:
+            bias = conv_bias(spec)
+        if self.method == "gemm":
+            return gemm_conv2d_for_spec(inputs, weights, bias, spec)
+        return direct_conv2d_for_spec(inputs, weights, bias, spec)
+
+    # ------------------------------------------------------------------
+    def run_network(
+        self,
+        network: Network,
+        inputs: Optional[np.ndarray] = None,
+        batch: int = 1,
+        keep_activations: bool = False,
+        stop_after: Optional[int] = None,
+    ) -> InferenceResult:
+        """Run a full forward pass through a network.
+
+        ``stop_after`` limits execution to the first ``stop_after``
+        layers, which keeps whole-network smoke tests cheap.
+        """
+
+        if inputs is None:
+            channels, height, width = network.input_shape
+            inputs = random_tensor((batch, channels, height, width), network.name + ".input")
+
+        activations: Dict[str, np.ndarray] = {}
+        current = inputs
+        for position, spec in enumerate(network.layers):
+            if stop_after is not None and position >= stop_after:
+                break
+            current = self.run_layer(spec, current)
+            if keep_activations:
+                activations[spec.name] = current
+        return InferenceResult(output=current, activations=activations)
+
+
+def run_single_layer(
+    spec: ConvLayerSpec,
+    method: ConvMethod = "gemm",
+    batch: int = 1,
+) -> np.ndarray:
+    """Run one convolutional layer on deterministic data.
+
+    This is the numerical counterpart of the paper's single-layer
+    profiling: the layer executes in isolation on a synthetic input.
+    """
+
+    engine = InferenceEngine(method=method)
+    inputs = conv_input(spec, batch=batch)
+    return engine.run_conv(spec, inputs)
+
+
+def prune_weights(weights: np.ndarray, keep_channels: List[int]) -> np.ndarray:
+    """Select the kept output channels of a weight tensor.
+
+    The paper describes pruning channel ``p`` as removing filter ``p``
+    and re-indexing the remaining filters contiguously; selecting rows of
+    the weight tensor is exactly that operation.
+    """
+
+    if not keep_channels:
+        raise ValueError("keep_channels must not be empty")
+    if len(set(keep_channels)) != len(keep_channels):
+        raise ValueError("keep_channels contains duplicates")
+    out_channels = weights.shape[0]
+    for channel in keep_channels:
+        if not 0 <= channel < out_channels:
+            raise ValueError(
+                f"channel {channel} out of range for weight tensor with "
+                f"{out_channels} output channels"
+            )
+    return weights[sorted(keep_channels)]

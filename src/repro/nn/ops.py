@@ -1,0 +1,132 @@
+"""Non-convolutional operators of the NumPy compute substrate.
+
+These cover the "other layer types" the paper mentions (pooling,
+activations, batch normalisation, dropout, fully-connected layers) —
+cheap at inference time, but needed to run whole networks end-to-end in
+the examples and integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.layers import (
+    ActivationLayerSpec,
+    BatchNormLayerSpec,
+    DropoutLayerSpec,
+    FullyConnectedLayerSpec,
+    PoolLayerSpec,
+)
+from .tensor import DTYPE, pad_input, random_tensor
+
+
+def relu(inputs: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+
+    return np.maximum(inputs, 0.0).astype(DTYPE)
+
+
+def tanh(inputs: np.ndarray) -> np.ndarray:
+    return np.tanh(inputs).astype(DTYPE)
+
+
+def sigmoid(inputs: np.ndarray) -> np.ndarray:
+    return (1.0 / (1.0 + np.exp(-inputs))).astype(DTYPE)
+
+
+def activation(inputs: np.ndarray, spec: ActivationLayerSpec) -> np.ndarray:
+    """Apply the activation named by a spec."""
+
+    functions = {"relu": relu, "tanh": tanh, "sigmoid": sigmoid}
+    return functions[spec.kind](inputs)
+
+
+def pool2d(inputs: np.ndarray, spec: PoolLayerSpec) -> np.ndarray:
+    """Max or average pooling over an NCHW tensor."""
+
+    if inputs.ndim != 4:
+        raise ValueError(f"pool2d expects an NCHW tensor, got {inputs.shape}")
+    batch, channels, height, width = inputs.shape
+    if spec.mode == "max" and spec.padding:
+        # Pad with -inf so padded positions never win the max.
+        padded = np.pad(
+            inputs,
+            ((0, 0), (0, 0), (spec.padding, spec.padding), (spec.padding, spec.padding)),
+            mode="constant",
+            constant_values=-np.inf,
+        )
+    else:
+        padded = pad_input(inputs, spec.padding)
+    out_h = (height + 2 * spec.padding - spec.kernel_size) // spec.stride + 1
+    out_w = (width + 2 * spec.padding - spec.kernel_size) // spec.stride + 1
+
+    strides = padded.strides
+    windows = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, channels, out_h, out_w, spec.kernel_size, spec.kernel_size),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * spec.stride,
+            strides[3] * spec.stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    if spec.mode == "max":
+        return windows.max(axis=(4, 5)).astype(DTYPE)
+    return windows.mean(axis=(4, 5)).astype(DTYPE)
+
+
+def batch_norm(inputs: np.ndarray, spec: BatchNormLayerSpec, eps: float = 1e-5) -> np.ndarray:
+    """Inference-time batch normalisation with deterministic parameters."""
+
+    gamma = random_tensor((spec.num_features,), spec.name + ".gamma", scale=0.1) + 1.0
+    beta = random_tensor((spec.num_features,), spec.name + ".beta", scale=0.1)
+    mean = random_tensor((spec.num_features,), spec.name + ".mean", scale=0.1)
+    var = np.abs(random_tensor((spec.num_features,), spec.name + ".var", scale=0.1)) + 1.0
+    shape = (1, spec.num_features, 1, 1) if inputs.ndim == 4 else (1, spec.num_features)
+    normalised = (inputs - mean.reshape(shape)) / np.sqrt(var.reshape(shape) + eps)
+    return (gamma.reshape(shape) * normalised + beta.reshape(shape)).astype(DTYPE)
+
+
+def dropout(inputs: np.ndarray, spec: DropoutLayerSpec) -> np.ndarray:
+    """Dropout is the identity at inference time."""
+
+    del spec
+    return inputs
+
+
+def fully_connected(inputs: np.ndarray, spec: FullyConnectedLayerSpec) -> np.ndarray:
+    """Dense layer with deterministic weights."""
+
+    flat = inputs.reshape(inputs.shape[0], -1)
+    if flat.shape[1] != spec.in_features:
+        raise ValueError(
+            f"{spec.name}: expected {spec.in_features} input features, got {flat.shape[1]}"
+        )
+    weights = random_tensor(
+        (spec.out_features, spec.in_features),
+        spec.name + ".weight",
+        scale=1.0 / np.sqrt(spec.in_features),
+    )
+    bias = random_tensor((spec.out_features,), spec.name + ".bias", scale=0.1)
+    result = flat @ weights.T
+    if spec.bias:
+        result = result + bias
+    return result.astype(DTYPE)
+
+
+def global_average_pool(inputs: np.ndarray) -> np.ndarray:
+    """Average over the spatial dimensions of an NCHW tensor."""
+
+    return inputs.mean(axis=(2, 3)).astype(DTYPE)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return (exps / exps.sum(axis=axis, keepdims=True)).astype(DTYPE)

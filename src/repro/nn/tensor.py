@@ -1,0 +1,75 @@
+"""Deterministic tensor creation helpers for the NumPy compute substrate.
+
+The library never loads trained weights (the paper's latency study does
+not need them); instead, weights and activations are generated
+deterministically from a seed derived from the layer name and shape so
+that any two runs — and any two convolution algorithms — operate on
+identical data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+import numpy as np
+
+from ..models.layers import ConvLayerSpec
+
+#: dtype used throughout the substrate; embedded GPU libraries in the
+#: paper run fp32 (the ACL Bifrost GEMM is the 32-bit implementation).
+DTYPE = np.float32
+
+
+def seed_from_name(name: str, extra: int = 0) -> int:
+    """Derive a stable 32-bit seed from a string identifier."""
+
+    digest = hashlib.sha256(f"{name}:{extra}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def random_tensor(shape: Tuple[int, ...], name: str, scale: float = 1.0) -> np.ndarray:
+    """Deterministic standard-normal tensor for the given shape and name."""
+
+    rng = np.random.default_rng(seed_from_name(name, extra=int(np.prod(shape))))
+    return (scale * rng.standard_normal(shape)).astype(DTYPE)
+
+
+def conv_weights(spec: ConvLayerSpec) -> np.ndarray:
+    """Weights for a conv layer, shaped ``(out_c, in_c/groups, k, k)``."""
+
+    shape = (
+        spec.out_channels,
+        spec.in_channels // spec.groups,
+        spec.kernel_size,
+        spec.kernel_size,
+    )
+    fan_in = spec.macs_per_output_element
+    return random_tensor(shape, spec.name + ".weight", scale=1.0 / np.sqrt(fan_in))
+
+
+def conv_bias(spec: ConvLayerSpec) -> np.ndarray:
+    """Bias vector for a conv layer (zeros when the spec has no bias)."""
+
+    if not spec.bias:
+        return np.zeros(spec.out_channels, dtype=DTYPE)
+    return random_tensor((spec.out_channels,), spec.name + ".bias", scale=0.1)
+
+
+def conv_input(spec: ConvLayerSpec, batch: int = 1) -> np.ndarray:
+    """Input activation tensor shaped ``(batch, in_c, H, W)``."""
+
+    shape = (batch, spec.in_channels, spec.input_hw, spec.input_hw)
+    return random_tensor(shape, spec.name + ".input")
+
+
+def pad_input(inputs: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an NCHW tensor."""
+
+    if padding == 0:
+        return inputs
+    return np.pad(
+        inputs,
+        ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )

@@ -1,0 +1,26 @@
+"""Profiling: kernel event capture, median-of-N measurement, latency tables."""
+
+from .events import KernelEvent, ProfiledRun
+from .latency_table import LatencyTable, build_latency_table, prune_distances
+from .profilers import (
+    CudaEventProfiler,
+    OpenCLProfiler,
+    profile_runs,
+    profiler_for_device,
+)
+from .runner import DEFAULT_RUNS, Measurement, ProfileRunner
+
+__all__ = [
+    "CudaEventProfiler",
+    "DEFAULT_RUNS",
+    "KernelEvent",
+    "LatencyTable",
+    "Measurement",
+    "OpenCLProfiler",
+    "ProfiledRun",
+    "ProfileRunner",
+    "build_latency_table",
+    "profile_runs",
+    "profiler_for_device",
+    "prune_distances",
+]

@@ -1,0 +1,139 @@
+"""Measurement runner: median-of-N latency measurements per configuration.
+
+``ProfileRunner`` is the reproduction of the paper's measurement
+protocol (Section III-D): for each (device, library, layer, channel
+count) configuration, run the layer several times and report the median.
+Results are memoised so that sweeps over thousands of configurations —
+the heatmap experiments profile every pruning level of every layer —
+stay cheap.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..gpusim.device import DeviceSpec, get_device
+from ..gpusim.kernel import KernelPlan
+from ..libraries.base import ConvolutionLibrary, get_library
+from ..models.layers import ConvLayerSpec
+from .events import ProfiledRun
+from .profilers import profile_runs
+
+#: Number of repetitions per configuration (the paper reports the median
+#: of 10 runs).
+DEFAULT_RUNS = 10
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Median latency of one measured layer configuration."""
+
+    layer_name: str
+    out_channels: int
+    device_name: str
+    library_name: str
+    median_time_ms: float
+    min_time_ms: float
+    max_time_ms: float
+    runs: int
+    job_count: int
+
+    @property
+    def spread(self) -> float:
+        """Max/min ratio across the repeated runs (measurement stability)."""
+
+        if self.min_time_ms == 0:
+            return float("inf")
+        return self.max_time_ms / self.min_time_ms
+
+
+@dataclass
+class ProfileRunner:
+    """Measure layer latencies on a (device, library) pair with caching."""
+
+    device: DeviceSpec
+    library: ConvolutionLibrary
+    runs: int = DEFAULT_RUNS
+    _cache: Dict[Tuple[str, int], Measurement] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def create(cls, device: str, library: str, runs: int = DEFAULT_RUNS) -> "ProfileRunner":
+        """Build a runner from device and library names."""
+
+        return cls(device=get_device(device), library=get_library(library), runs=runs)
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, layer: ConvLayerSpec, out_channels: int) -> Tuple[str, int]:
+        return (
+            f"{layer.name}|{layer.in_channels}|{layer.kernel_size}|{layer.stride}|"
+            f"{layer.padding}|{layer.input_hw}",
+            out_channels,
+        )
+
+    def measure(self, layer: ConvLayerSpec, out_channels: Optional[int] = None) -> Measurement:
+        """Median latency of a layer pruned to ``out_channels`` filters."""
+
+        channels = layer.out_channels if out_channels is None else out_channels
+        if channels < 1:
+            raise ValueError(f"out_channels must be >= 1, got {channels}")
+        key = self._cache_key(layer, channels)
+        if key in self._cache:
+            return self._cache[key]
+
+        plan = self.library.plan_with_channels(layer, channels, self.device)
+        profiled = profile_runs(self.device, plan, runs=self.runs)
+        measurement = self._summarise(layer, channels, plan, profiled)
+        self._cache[key] = measurement
+        return measurement
+
+    def _summarise(
+        self,
+        layer: ConvLayerSpec,
+        channels: int,
+        plan: KernelPlan,
+        profiled: List[ProfiledRun],
+    ) -> Measurement:
+        times = [run.total_time_ms for run in profiled]
+        return Measurement(
+            layer_name=layer.name,
+            out_channels=channels,
+            device_name=self.device.name,
+            library_name=self.library.name,
+            median_time_ms=statistics.median(times),
+            min_time_ms=min(times),
+            max_time_ms=max(times),
+            runs=len(times),
+            job_count=plan.job_count,
+        )
+
+    # ------------------------------------------------------------------
+    def measure_channels(
+        self, layer: ConvLayerSpec, channel_counts: List[int]
+    ) -> List[Measurement]:
+        """Measure the layer at each of the given channel counts."""
+
+        return [self.measure(layer, channels) for channels in channel_counts]
+
+    def sweep(
+        self,
+        layer: ConvLayerSpec,
+        min_channels: int = 1,
+        max_channels: Optional[int] = None,
+        step: int = 1,
+    ) -> List[Measurement]:
+        """Measure a full channel sweep (the staircase figures)."""
+
+        upper = layer.out_channels if max_channels is None else max_channels
+        if upper > layer.out_channels:
+            raise ValueError(
+                f"cannot sweep beyond the layer's {layer.out_channels} channels"
+            )
+        counts = list(range(min_channels, upper + 1, step))
+        if counts and counts[-1] != upper:
+            counts.append(upper)
+        return self.measure_channels(layer, counts)
+
+    def cache_size(self) -> int:
+        return len(self._cache)

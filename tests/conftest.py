@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim import GpuSimulator, get_device
+from repro.libraries import get_library
+from repro.models import build_alexnet, build_resnet50, build_vgg16
+from repro.profiling import ProfileRunner
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return build_resnet50()
+
+
+@pytest.fixture(scope="session")
+def vgg16():
+    return build_vgg16()
+
+
+@pytest.fixture(scope="session")
+def alexnet():
+    return build_alexnet()
+
+
+@pytest.fixture(scope="session")
+def layer16(resnet50):
+    """ResNet-50 layer 16: the paper's calibration layer (3x3, 128 filters)."""
+
+    return resnet50.conv_layer(16).spec
+
+
+@pytest.fixture(scope="session")
+def layer14(resnet50):
+    """ResNet-50 layer 14: 1x1 projection with 512 filters."""
+
+    return resnet50.conv_layer(14).spec
+
+
+@pytest.fixture(scope="session")
+def layer45(resnet50):
+    """ResNet-50 layer 45: 1x1 expansion with 2048 filters."""
+
+    return resnet50.conv_layer(45).spec
+
+
+@pytest.fixture(scope="session")
+def hikey():
+    return get_device("hikey-970")
+
+
+@pytest.fixture(scope="session")
+def odroid():
+    return get_device("odroid-xu4")
+
+
+@pytest.fixture(scope="session")
+def tx2():
+    return get_device("jetson-tx2")
+
+
+@pytest.fixture(scope="session")
+def nano():
+    return get_device("jetson-nano")
+
+
+@pytest.fixture(scope="session")
+def acl_gemm():
+    return get_library("acl-gemm")
+
+
+@pytest.fixture(scope="session")
+def acl_direct():
+    return get_library("acl-direct")
+
+
+@pytest.fixture(scope="session")
+def cudnn():
+    return get_library("cudnn")
+
+
+@pytest.fixture(scope="session")
+def tvm():
+    return get_library("tvm")
+
+
+@pytest.fixture(scope="session")
+def hikey_simulator(hikey):
+    return GpuSimulator(hikey)
+
+
+@pytest.fixture(scope="session")
+def tx2_simulator(tx2):
+    return GpuSimulator(tx2)
+
+
+@pytest.fixture(scope="session")
+def gemm_runner(hikey, acl_gemm):
+    """Shared ACL GEMM runner on the HiKey 970 (cached across tests)."""
+
+    return ProfileRunner(device=hikey, library=acl_gemm, runs=3)
+
+
+@pytest.fixture(scope="session")
+def cudnn_runner(tx2, cudnn):
+    """Shared cuDNN runner on the Jetson TX2 (cached across tests)."""
+
+    return ProfileRunner(device=tx2, library=cudnn, runs=3)
+
+
+@pytest.fixture(scope="session")
+def direct_runner(hikey, acl_direct):
+    """Shared ACL Direct runner on the HiKey 970 (cached across tests)."""
+
+    return ProfileRunner(device=hikey, library=acl_direct, runs=3)

@@ -1,0 +1,139 @@
+"""Tests for design-space exploration (choosing layer sizes per target)."""
+
+import pytest
+
+from repro.core import (
+    DesignSpaceExplorer,
+    best_library_for_layer,
+    iter_default_targets,
+    recommend_channel_counts,
+)
+from repro.models import ConvLayerSpec
+
+
+@pytest.fixture(scope="module")
+def template():
+    """A 3x3 layer template on a 28x28 map (the shape of ResNet-50 L16)."""
+
+    return ConvLayerSpec(
+        name="design.template", in_channels=128, out_channels=128,
+        kernel_size=3, stride=1, padding=1, input_hw=28,
+    )
+
+
+class TestRecommendations:
+    def test_returns_at_most_top_k(self, template):
+        recommendations = recommend_channel_counts(
+            template, "jetson-tx2", "cudnn", top_k=3, runs=1
+        )
+        assert 1 <= len(recommendations) <= 3
+
+    def test_cudnn_recommends_full_tiles(self, template):
+        recommendations = recommend_channel_counts(
+            template, "jetson-tx2", "cudnn", top_k=4, runs=1
+        )
+        assert all(rec.out_channels % 32 == 0 for rec in recommendations)
+
+    def test_acl_gemm_recommends_unsplit_counts(self, template):
+        from repro.libraries import split_columns
+
+        recommendations = recommend_channel_counts(
+            template, "hikey-970", "acl-gemm", top_k=4, runs=1
+        )
+        assert all(not split_columns(rec.out_channels).is_split for rec in recommendations)
+
+    def test_ranked_by_channels_per_ms(self, template):
+        recommendations = recommend_channel_counts(
+            template, "jetson-tx2", "cudnn", top_k=4, runs=1
+        )
+        rates = [rec.channels_per_ms for rec in recommendations]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_max_channels_caps_search(self, template):
+        recommendations = recommend_channel_counts(
+            template, "jetson-tx2", "cudnn", max_channels=64, top_k=4, runs=1
+        )
+        assert all(rec.out_channels <= 64 for rec in recommendations)
+
+    def test_invalid_arguments(self, template):
+        with pytest.raises(ValueError):
+            recommend_channel_counts(template, "jetson-tx2", "cudnn", top_k=0, runs=1)
+        with pytest.raises(ValueError):
+            recommend_channel_counts(template, "jetson-tx2", "cudnn", max_channels=0, runs=1)
+
+    def test_recommendation_metadata(self, template):
+        rec = recommend_channel_counts(template, "hikey-970", "acl-gemm", top_k=1, runs=1)[0]
+        assert rec.device_name == "mali-g72"
+        assert rec.library_name == "acl-gemm"
+        assert rec.time_ms > 0
+
+
+class TestLibraryRanking:
+    def test_ranks_all_targets(self, template):
+        ranking = best_library_for_layer(
+            template, targets=list(iter_default_targets()), runs=1
+        )
+        assert len(ranking.entries) == 4
+        device, library, time_ms = ranking.best
+        assert time_ms > 0
+        assert ranking.time_for(device, library) == time_ms
+
+    def test_best_is_minimum(self, template):
+        ranking = best_library_for_layer(
+            template, targets=[("hikey-970", "acl-gemm"), ("hikey-970", "acl-direct")], runs=1
+        )
+        times = [entry[2] for entry in ranking.entries]
+        assert ranking.best[2] == min(times)
+
+    def test_gemm_beats_direct_on_this_shape(self, template):
+        ranking = best_library_for_layer(
+            template, targets=[("hikey-970", "acl-gemm"), ("hikey-970", "acl-direct")], runs=1
+        )
+        assert ranking.time_for("mali-g72", "acl-gemm") < ranking.time_for(
+            "mali-g72", "acl-direct"
+        )
+
+    def test_unknown_target_lookup(self, template):
+        ranking = best_library_for_layer(template, targets=[("hikey-970", "acl-gemm")], runs=1)
+        with pytest.raises(KeyError):
+            ranking.time_for("mali-g72", "cudnn")
+
+    def test_empty_targets_rejected(self, template):
+        with pytest.raises(ValueError):
+            best_library_for_layer(template, targets=[], runs=1)
+
+
+class TestDesignSpaceExplorer:
+    def test_explore_covers_all_targets(self, template):
+        explorer = DesignSpaceExplorer(
+            targets=[("jetson-tx2", "cudnn"), ("hikey-970", "acl-gemm")], runs=1
+        )
+        exploration = explorer.explore(template, max_channels=96, top_k=2)
+        assert set(exploration) == {("jetson-tx2", "cudnn"), ("hikey-970", "acl-gemm")}
+        assert all(recommendations for recommendations in exploration.values())
+
+    def test_sweet_spots_depend_on_target(self, template):
+        """The paper's conclusion: specialise layer sizes per runtime target."""
+
+        explorer = DesignSpaceExplorer(
+            targets=[("jetson-tx2", "cudnn"), ("hikey-970", "acl-direct")], runs=1
+        )
+        assert explorer.sweet_spots_differ(template, max_channels=100)
+
+    def test_format_report_mentions_targets(self, template):
+        explorer = DesignSpaceExplorer(targets=[("jetson-tx2", "cudnn")], runs=1)
+        report = explorer.format_report(template, max_channels=64)
+        assert "cudnn on jetson-tx2" in report
+        assert "ch/ms" in report
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(targets=[])
+
+    def test_default_targets_match_paper(self):
+        assert list(iter_default_targets()) == [
+            ("hikey-970", "acl-gemm"),
+            ("hikey-970", "acl-direct"),
+            ("hikey-970", "tvm"),
+            ("jetson-tx2", "cudnn"),
+        ]

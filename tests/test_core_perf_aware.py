@@ -1,0 +1,202 @@
+"""Tests for the performance-aware pruning optimiser and the search utilities."""
+
+import pytest
+
+from repro.core import (
+    Candidate,
+    OptimizationError,
+    PerformanceAwarePruner,
+    PruningSearch,
+    pareto_frontier,
+)
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def gemm_pruner():
+    """ACL GEMM on the HiKey 970: the target with parallel staircases."""
+
+    return PerformanceAwarePruner("hikey-970", "acl-gemm", runs=2)
+
+
+@pytest.fixture(scope="module")
+def cudnn_pruner():
+    return PerformanceAwarePruner("jetson-tx2", "cudnn", runs=2)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_model("resnet50")
+
+
+class TestConstruction:
+    def test_accepts_names_or_objects(self, hikey, acl_gemm):
+        by_name = PerformanceAwarePruner("hikey-970", "acl-gemm", runs=1)
+        by_object = PerformanceAwarePruner(hikey, acl_gemm, runs=1)
+        assert by_name.device.name == by_object.device.name
+        assert by_name.library.name == by_object.library.name
+
+
+class TestLayerProfiles:
+    def test_profile_contains_all_channel_counts(self, gemm_pruner, layer16):
+        profile = gemm_pruner.profile_layer(layer16, 16)
+        assert len(profile.table) == 128
+        assert profile.original_time_ms > 0
+
+    def test_profiles_are_cached(self, gemm_pruner, layer16):
+        first = gemm_pruner.profile_layer(layer16, 16)
+        second = gemm_pruner.profile_layer(layer16, 16)
+        assert first is second
+
+    def test_optimal_counts_are_plateau_edges(self, cudnn_pruner, layer16):
+        profile = cudnn_pruner.profile_layer(layer16, 16)
+        assert {32, 64, 96, 128}.issubset(set(profile.optimal_channel_counts))
+
+    def test_speedup_at_fewer_channels(self, cudnn_pruner, layer16):
+        profile = cudnn_pruner.profile_layer(layer16, 16)
+        assert profile.speedup_at(96) > 1.2
+        assert profile.speedup_at(128) == pytest.approx(1.0)
+
+
+class TestSingleLayerSelection:
+    def test_budget_selection_is_right_of_step(self, cudnn_pruner, layer16):
+        profile = cudnn_pruner.profile_layer(layer16, 16)
+        budget = profile.time_at(96) * 1.01
+        assert cudnn_pruner.select_channels_for_budget(layer16, budget) == 96
+
+    def test_budget_too_small_raises(self, cudnn_pruner, layer16):
+        with pytest.raises(OptimizationError):
+            cudnn_pruner.select_channels_for_budget(layer16, 1e-6)
+
+    def test_snap_moves_right_along_plateau(self, cudnn_pruner, layer16):
+        # 70 channels costs the same as 96 under cuDNN's 32-wide tiles, so
+        # the snap keeps the extra channels for free.
+        assert cudnn_pruner.snap_to_step(layer16, 70) == 96
+
+    def test_snap_never_lands_on_slower_plateau(self, gemm_pruner, layer16):
+        profile = gemm_pruner.profile_layer(layer16, 16)
+        snapped = gemm_pruner.snap_to_step(layer16, 92)
+        assert profile.time_at(snapped) <= profile.time_at(92) * 1.001
+        assert snapped >= 92
+
+    def test_snap_validates_target(self, gemm_pruner, layer16):
+        with pytest.raises(OptimizationError):
+            gemm_pruner.snap_to_step(layer16, 0)
+        with pytest.raises(OptimizationError):
+            gemm_pruner.snap_to_step(layer16, 1000)
+
+
+class TestNetworkCompression:
+    LAYERS = [15, 16]
+
+    def test_network_latency_sums_layers(self, gemm_pruner, resnet):
+        total = gemm_pruner.network_latency_ms(resnet, layer_indices=self.LAYERS)
+        parts = [
+            gemm_pruner.runner.measure(resnet.conv_layer(i).spec).median_time_ms
+            for i in self.LAYERS
+        ]
+        assert total == pytest.approx(sum(parts))
+
+    def test_prune_for_latency_meets_budget(self, gemm_pruner, resnet):
+        baseline = gemm_pruner.network_latency_ms(resnet, layer_indices=self.LAYERS)
+        outcome = gemm_pruner.prune_for_latency(
+            resnet, baseline * 0.7, layer_indices=self.LAYERS
+        )
+        assert outcome.latency_ms <= baseline * 0.7 * 1.001
+        assert outcome.speedup > 1.0
+        assert outcome.predicted_accuracy <= outcome.baseline_accuracy
+
+    def test_prune_for_latency_uses_step_optimal_counts(self, gemm_pruner, resnet):
+        baseline = gemm_pruner.network_latency_ms(resnet, layer_indices=self.LAYERS)
+        outcome = gemm_pruner.prune_for_latency(
+            resnet, baseline * 0.75, layer_indices=self.LAYERS
+        )
+        for index, channels in outcome.channels.items():
+            profile = gemm_pruner.profile_layer(resnet.conv_layer(index).spec, index)
+            assert channels in profile.optimal_channel_counts
+
+    def test_impossible_budget_raises(self, gemm_pruner, resnet):
+        with pytest.raises(OptimizationError):
+            gemm_pruner.prune_for_latency(resnet, 1e-6, layer_indices=self.LAYERS)
+
+    def test_uninstructed_pruning_can_slow_down(self, gemm_pruner, resnet):
+        """The paper's warning: ~12% uniform pruning lands on the slow staircase."""
+
+        outcome = gemm_pruner.prune_uninstructed(resnet, 0.12, layer_indices=self.LAYERS)
+        assert outcome.speedup < 1.0
+
+    def test_performance_aware_never_slower_than_baseline(self, gemm_pruner, resnet):
+        outcome = gemm_pruner.prune_performance_aware_fraction(
+            resnet, 0.12, layer_indices=self.LAYERS
+        )
+        assert outcome.latency_ms <= outcome.baseline_latency_ms * 1.001
+
+    def test_comparison_favours_performance_aware(self, gemm_pruner, resnet):
+        comparison = gemm_pruner.compare_with_uninstructed(
+            resnet, 0.12, layer_indices=self.LAYERS
+        )
+        assert comparison.latency_advantage >= 1.0
+        assert (
+            comparison.performance_aware.predicted_accuracy
+            >= comparison.uninstructed.predicted_accuracy
+        )
+
+    def test_outcome_plan_matches_channels(self, gemm_pruner, resnet):
+        outcome = gemm_pruner.prune_performance_aware_fraction(
+            resnet, 0.2, layer_indices=self.LAYERS
+        )
+        assert outcome.plan.channels_after() == outcome.channels
+
+
+class TestParetoSearch:
+    def test_dominance(self):
+        fast_accurate = Candidate(channels={}, latency_ms=1.0, predicted_accuracy=0.8)
+        slow_inaccurate = Candidate(channels={}, latency_ms=2.0, predicted_accuracy=0.7)
+        assert fast_accurate.dominates(slow_inaccurate)
+        assert not slow_inaccurate.dominates(fast_accurate)
+
+    def test_no_self_domination(self):
+        candidate = Candidate(channels={}, latency_ms=1.0, predicted_accuracy=0.8)
+        assert not candidate.dominates(candidate)
+
+    def test_pareto_frontier_filters_dominated(self):
+        candidates = [
+            Candidate(channels={}, latency_ms=1.0, predicted_accuracy=0.7),
+            Candidate(channels={}, latency_ms=2.0, predicted_accuracy=0.75),
+            Candidate(channels={}, latency_ms=3.0, predicted_accuracy=0.74),  # dominated
+        ]
+        frontier = pareto_frontier(candidates)
+        assert len(frontier) == 2
+        assert frontier[0].latency_ms == 1.0
+
+    def test_search_exhaustive_and_frontier(self, gemm_pruner, resnet):
+        search = PruningSearch(
+            pruner=gemm_pruner,
+            network=resnet,
+            layer_indices=[15, 16],
+            max_levels_per_layer=3,
+        )
+        candidates = search.exhaustive()
+        assert len(candidates) == 9
+        frontier = search.frontier()
+        assert 1 <= len(frontier) <= len(candidates)
+        latencies = [candidate.latency_ms for candidate in frontier]
+        accuracies = [candidate.predicted_accuracy for candidate in frontier]
+        assert latencies == sorted(latencies)
+        assert accuracies == sorted(accuracies)
+
+    def test_search_validates_inputs(self, gemm_pruner, resnet):
+        with pytest.raises(ValueError):
+            PruningSearch(pruner=gemm_pruner, network=resnet, layer_indices=[])
+        with pytest.raises(ValueError):
+            PruningSearch(
+                pruner=gemm_pruner, network=resnet, layer_indices=[16], max_levels_per_layer=0
+            )
+
+    def test_layer_options_start_from_original(self, gemm_pruner, resnet):
+        search = PruningSearch(
+            pruner=gemm_pruner, network=resnet, layer_indices=[16], max_levels_per_layer=4
+        )
+        options = search.layer_options(16)
+        assert options[0] == 128
+        assert options == sorted(options, reverse=True)

@@ -1,0 +1,83 @@
+"""Smoke tests: the example scripts run end-to-end via the public API.
+
+Only the quick examples are executed as subprocesses; the long-running
+compression and comparison walk-throughs are exercised through their
+underlying APIs elsewhere in the suite (``test_core_perf_aware.py``,
+``test_core_design.py``).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: Examples fast enough to run as part of the test suite.
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "simulator_deep_dive.py",
+    "functional_pruning_check.py",
+)
+
+#: Every example that must exist and be importable as a script.
+ALL_EXAMPLES = FAST_EXAMPLES + (
+    "compress_resnet50_for_device.py",
+    "library_comparison.py",
+    "design_layer_sizes.py",
+)
+
+
+class TestExampleFiles:
+    def test_examples_directory_contains_all_scripts(self):
+        present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert set(ALL_EXAMPLES).issubset(present)
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_examples_compile(self, script):
+        source = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+        compile(source, script, "exec")
+
+    @pytest.mark.parametrize("script", ALL_EXAMPLES)
+    def test_examples_have_main_and_docstring(self, script):
+        source = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+        assert source.lstrip().startswith(("#!/usr/bin/env python", '"""'))
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+
+class TestExampleExecution:
+    @pytest.mark.parametrize("script", FAST_EXAMPLES)
+    def test_fast_examples_run_cleanly(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            check=False,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+    def test_quickstart_reports_the_slow_staircase(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            check=False,
+        )
+        assert "Performance-aware choice" in completed.stdout
+        assert "Uninstructed pruning" in completed.stdout
+
+    def test_simulator_deep_dive_reports_job_counts(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "simulator_deep_dive.py")],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            check=False,
+        )
+        assert "dispatched GPU jobs: 2" in completed.stdout
+        assert "dispatched GPU jobs: 1" in completed.stdout

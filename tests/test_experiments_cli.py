@@ -1,0 +1,47 @@
+"""Tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import available_experiments
+from repro.experiments.cli import main, run_many
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(available_experiments())
+
+    def test_run_single_table(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "gemm_mm" in output
+        assert "table1" in output
+
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["table2", "table5"]) == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+        assert "Table V" in output
+
+    def test_fast_flag_on_sweep(self, capsys):
+        assert main(["fig04", "--fast"]) == 0
+        assert "fig04" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "results.json"
+        assert main(["table3", "--json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload[0]["experiment_id"] == "table3"
+        assert "measured" in payload[0]
+
+    def test_run_many_helper(self):
+        results = run_many(["table1", "table4"], fast=True)
+        assert [result.experiment_id for result in results] == ["table1", "table4"]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])

@@ -1,0 +1,113 @@
+"""Shape assertions for the figure experiments.
+
+Heatmap experiments are run at reduced repetition counts and the sweep
+experiments at coarser steps where that does not affect the asserted
+quantity, keeping the suite fast while still exercising the full
+pipeline for every figure.
+"""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        experiments = set(available_experiments())
+        expected = {f"fig{n:02d}" for n in range(1, 21)} | {f"table{n}" for n in range(1, 6)}
+        assert expected.issubset(experiments)
+
+    def test_unknown_experiment_raises(self):
+        from repro.experiments import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError):
+            run_experiment("fig99")
+
+
+class TestSweepFigures:
+    def test_fig04_cudnn_step_ratios(self):
+        result = run_experiment("fig04", runs=3)
+        assert result.measured["step_ratio_96"] == pytest.approx(1.3, abs=0.1)
+        assert result.measured["step_ratio_64"] > 1.2
+        assert result.measured["spread"] > 2.5
+
+    def test_fig05_uneven_staircase(self):
+        result = run_experiment("fig05", runs=3, step=2)
+        times = result.data["times_ms"]
+        assert max(times) / min(times) > 3.0
+
+    def test_fig07_nano_scaling(self):
+        result = run_experiment("fig07", runs=3, step=8)
+        assert 2.0 < result.measured["nano_vs_tx2_scaling"] < 4.5
+
+    def test_fig12_three_levels(self):
+        result = run_experiment("fig12", runs=3, step=1)
+        assert result.measured["levels"] >= 3
+        assert 1.4 < result.measured["level_ratio"] < 2.6
+
+    def test_fig14_parallel_staircase_gaps(self):
+        result = run_experiment("fig14", runs=3)
+        assert result.measured["gap_92_vs_93"] == pytest.approx(23.0 / 14.0, rel=0.2)
+        assert result.measured["gap_97_vs_96"] == pytest.approx(23.0 / 14.0, rel=0.25)
+        assert result.measured["speedup_78_vs_76"] > 1.4
+
+    def test_fig15_large_gap_between_nearby_counts(self):
+        result = run_experiment("fig15", runs=3, step=64)
+        assert result.measured["gap_2036_vs_2024"] > 1.3
+
+    def test_fig20_tvm_spikes(self):
+        result = run_experiment("fig20", runs=3, step=1)
+        assert result.measured["local_spike_ratio"] > 5.0
+        assert 0.03 < result.measured["fallback_fraction"] < 0.4
+
+    def test_fig02_large_layer_staircase(self):
+        result = run_experiment("fig02", runs=1, step=8)
+        counts = result.data["channel_counts"]
+        times = result.data["times_ms"]
+        assert counts[-1] == 1024
+        assert max(times) / min(times) > 3.0
+
+    def test_fig03_two_parallel_staircases(self):
+        result = run_experiment("fig03", runs=3)
+        # Adjacent channel counts can differ by >1.4x: the second staircase.
+        assert result.measured["largest_adjacent_gap"] > 1.4
+
+
+class TestHeatmapFigures:
+    def test_fig01_slowdowns_up_to_about_2x(self):
+        result = run_experiment("fig01", runs=1)
+        assert 1.5 < result.measured["max_value"] < 2.6
+        assert result.measured["min_value"] >= 0.99
+
+    def test_fig06_cudnn_speedups(self):
+        result = run_experiment("fig06", runs=1)
+        assert 2.8 < result.measured["max_value"] < 4.5
+        assert result.measured["min_value"] >= 0.95
+        prune1 = result.data["rows"][1]
+        assert all(value == pytest.approx(1.0, abs=0.05) for value in prune1)
+
+    def test_fig09_alexnet_modest_speedups(self):
+        result = run_experiment("fig09", runs=1)
+        assert 1.1 < result.measured["max_value"] < 2.6
+
+    def test_fig10_direct_conv_slowdowns_and_speedups(self):
+        result = run_experiment("fig10", runs=1)
+        assert result.measured["min_value"] < 0.8  # prune=1 slowdowns
+        assert result.measured["max_value"] > 6.0  # deep-pruning speedups
+
+    def test_fig13_gemm_no_big_slowdowns_and_multi_x_speedups(self):
+        result = run_experiment("fig13", runs=1)
+        assert result.measured["min_value"] > 0.9
+        assert result.measured["max_value"] > 3.0
+
+    def test_fig19_tvm_extreme_spread(self):
+        result = run_experiment("fig19", runs=1)
+        assert result.measured["min_value"] < 0.5
+        assert result.measured["max_value"] > 3.0
+
+    def test_fig18_system_counters(self):
+        result = run_experiment("fig18")
+        assert result.measured["jobs_92_relative"] == 2.0
+        assert result.measured["jobs_97_relative"] == 2.0
+        assert result.measured["jobs_96_relative"] == 1.0
+        assert 1.3 < result.measured["runtime_92_relative"] < 2.1

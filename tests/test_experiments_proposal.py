@@ -1,0 +1,73 @@
+"""Tests for the Section V proposal experiments and the ablations."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestProposalComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("proposal_comparison", fraction=0.12, runs=1)
+
+    def test_covers_all_four_targets(self, result):
+        libraries = {row["library"] for row in result.data["rows"]}
+        assert libraries == {"acl-gemm", "acl-direct", "tvm", "cudnn"}
+
+    def test_performance_aware_never_slower_than_baseline(self, result):
+        for row in result.data["rows"]:
+            assert row["aware_speedup"] >= 0.999, row
+
+    def test_uninstructed_pruning_slows_down_on_some_target(self, result):
+        """The paper's motivating observation at ~12% pruning."""
+
+        assert any(row["uninstructed_speedup"] < 1.0 for row in result.data["rows"])
+
+    def test_aware_at_least_as_fast_as_uninstructed(self, result):
+        for row in result.data["rows"]:
+            assert row["advantage"] >= 0.999, row
+
+    def test_cudnn_is_insensitive_at_small_fractions(self, result):
+        cudnn_row = next(row for row in result.data["rows"] if row["library"] == "cudnn")
+        assert cudnn_row["uninstructed_speedup"] == pytest.approx(1.0, abs=0.1)
+
+    def test_text_report_mentions_every_target(self, result):
+        for row in result.data["rows"]:
+            assert row["library"] in result.text
+
+
+class TestProposalPareto:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("proposal_pareto", runs=1)
+
+    def test_frontier_smaller_than_candidate_set(self, result):
+        assert result.measured["frontier_size"] <= result.measured["candidates"]
+        assert result.measured["frontier_size"] >= 1
+
+    def test_frontier_is_sorted_tradeoff(self, result):
+        frontier = result.data["frontier"]
+        latencies = [candidate["latency_ms"] for candidate in frontier]
+        accuracies = [candidate["predicted_accuracy"] for candidate in frontier]
+        assert latencies == sorted(latencies)
+        assert accuracies == sorted(accuracies)
+
+    def test_spread_covers_meaningful_speedups(self, result):
+        assert result.measured["best_speedup"] > 1.5
+
+
+class TestAblations:
+    def test_criterion_ablation_latency_identical(self):
+        result = run_experiment("ablation_criteria")
+        assert result.measured["latency_spread_across_criteria"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_criterion_ablation_functionally_exact(self):
+        result = run_experiment("ablation_criteria")
+        assert all(row["max_error"] == 0.0 for row in result.data["rows"])
+
+    def test_dispatch_overhead_drives_the_gap(self):
+        result = run_experiment("ablation_dispatch_overhead")
+        rows = result.data["rows"]
+        gaps = [row["gap"] for row in rows]
+        assert gaps == sorted(gaps)
+        assert result.measured["gap_increase_with_overhead"] > 0.15

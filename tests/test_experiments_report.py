@@ -1,0 +1,103 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cli import main
+from repro.experiments.report import (
+    experiment_section,
+    match_flag,
+    metric_rows,
+    render_markdown_report,
+    summary_table,
+    write_markdown_report,
+)
+
+
+def fake_result(**overrides):
+    defaults = dict(
+        experiment_id="figXX",
+        title="A synthetic figure",
+        description="Synthetic result used by the report tests.",
+        data={},
+        text="raw text block",
+        measured={"max_value": 2.0, "extra": 5.0},
+        paper={"max_value": 1.9, "missing": 3.0},
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestMatchFlag:
+    def test_within_tolerance_is_check(self):
+        assert match_flag(2.0, 2.1) == "✔"
+
+    def test_outside_tolerance_is_approx(self):
+        assert match_flag(2.0, 3.5) == "≈"
+
+    def test_missing_values_blank(self):
+        assert match_flag(None, 2.0) == ""
+        assert match_flag(2.0, None) == ""
+
+    def test_zero_paper_value(self):
+        assert match_flag(0.0, 0.05) == "✔"
+        assert match_flag(0.0, 0.5) == "≈"
+
+
+class TestRows:
+    def test_rows_cover_union_of_metrics(self):
+        rows = metric_rows(fake_result())
+        assert {row["metric"] for row in rows} == {"max_value", "extra", "missing"}
+
+    def test_rows_format_missing_as_na(self):
+        rows = {row["metric"]: row for row in metric_rows(fake_result())}
+        assert rows["extra"]["paper"] == "n/a"
+        assert rows["missing"]["measured"] == "n/a"
+
+    def test_match_column(self):
+        rows = {row["metric"]: row for row in metric_rows(fake_result())}
+        assert rows["max_value"]["match"] == "✔"
+        assert rows["extra"]["match"] == ""
+
+
+class TestRendering:
+    def test_section_contains_table_and_title(self):
+        section = experiment_section(fake_result())
+        assert "### figXX" in section
+        assert "| metric | paper | measured | match |" in section
+
+    def test_section_can_embed_raw_text(self):
+        section = experiment_section(fake_result(), include_text=True)
+        assert "raw text block" in section
+
+    def test_summary_table_counts_matches(self):
+        table = summary_table([fake_result()])
+        assert "| figXX |" in table
+
+    def test_full_report_contains_all_experiments(self):
+        report = render_markdown_report([fake_result(), fake_result(experiment_id="tabYY")])
+        assert "### figXX" in report and "### tabYY" in report
+        assert report.startswith("# Reproduction report")
+
+    def test_write_markdown_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        rendered = write_markdown_report([fake_result()], str(path), title="Check")
+        assert path.read_text() == rendered
+        assert rendered.startswith("# Check")
+
+
+class TestIntegrationWithRealExperiments:
+    def test_report_from_table_experiments(self):
+        results = [run_experiment("table2"), run_experiment("table5")]
+        report = render_markdown_report(results)
+        assert "table2" in report and "table5" in report
+        # Table II matches exactly, so at least one check mark appears.
+        assert "✔" in report
+
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        assert main(["table1", "--markdown", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert "table1" in path.read_text()

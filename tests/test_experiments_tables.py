@@ -1,0 +1,71 @@
+"""The paper's Tables I-V are reproduced by the experiment generators."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.tables import PAPER_TABLE5, PAPER_TABLES, plan_for_channels
+
+
+class TestInstructionTables:
+    """Tables I-IV match the paper's executed-instruction counts exactly."""
+
+    @pytest.mark.parametrize(
+        "table_id,channels",
+        [("table1", 92), ("table2", 93), ("table3", 96), ("table4", 97)],
+    )
+    def test_kernel_decomposition_and_counts_match_exactly(self, table_id, channels):
+        result = run_experiment(table_id)
+        measured_kernels = result.data["kernels"]
+        expected = PAPER_TABLES[channels]
+        assert len(measured_kernels) == len(expected)
+        for kernel, (name, arith, mem) in zip(measured_kernels, expected):
+            assert kernel["name"] == name
+            assert kernel["arithmetic_instructions"] == arith
+            assert kernel["memory_instructions"] == mem
+
+    def test_split_configurations_have_four_kernels(self):
+        assert len(plan_for_channels(92)) == 4
+        assert len(plan_for_channels(97)) == 4
+
+    def test_single_configurations_have_three_kernels(self):
+        assert len(plan_for_channels(93)) == 3
+        assert len(plan_for_channels(96)) == 3
+
+    def test_text_report_is_renderable(self):
+        result = run_experiment("table1")
+        assert "gemm_mm" in result.text
+        assert "706,713,280" in result.text
+
+    def test_summary_lists_paper_and_measured(self):
+        summary = run_experiment("table2").summary()
+        assert "paper=" in summary and "measured=" in summary
+
+
+class TestWorkgroupTable:
+    """Table V: workgroup selection and its consequences."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table5")
+
+    def test_workgroup_sizes_match_paper(self, result):
+        for row in result.data["rows"]:
+            expected_workgroup = PAPER_TABLE5[row["channels"]][0]
+            assert tuple(row["workgroup"]) == expected_workgroup
+
+    def test_relative_instructions_increase_about_one_percent_per_channel(self, result):
+        rows = {row["channels"]: row["relative_instructions"] for row in result.data["rows"]}
+        assert rows[90] == pytest.approx(1.0)
+        assert 1.0 < rows[91] < 1.03
+        assert 1.0 < rows[93] < 1.06
+        assert rows[91] < rows[92] < rows[93]
+
+    def test_narrow_workgroups_are_slower_despite_similar_instructions(self, result):
+        times = {row["channels"]: row["time_ms"] for row in result.data["rows"]}
+        assert times[91] > times[90]
+        assert times[93] > times[92]
+
+    def test_measured_slowdowns_in_paper_ballpark(self, result):
+        # Paper: 198.05/167.87 = 1.18 and 202.73/168.83 = 1.20.
+        assert 1.05 < result.measured["slowdown_91_vs_90"] < 1.6
+        assert 1.05 < result.measured["slowdown_93_vs_92"] < 1.6

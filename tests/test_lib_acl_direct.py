@@ -1,0 +1,127 @@
+"""Tests for the ACL Direct convolution planning model (Table V, Figs 10-12)."""
+
+import pytest
+
+from repro.libraries import LibraryError, channel_divisibility, select_workgroup
+from repro.libraries.acl_direct import kernel_efficiency
+
+
+class TestWorkgroupSelection:
+    """Table V: the workgroup size the library picks per channel count."""
+
+    def test_divisibility(self):
+        assert channel_divisibility(92) == 4
+        assert channel_divisibility(90) == 2
+        assert channel_divisibility(91) == 1
+        assert channel_divisibility(93) == 1
+
+    @pytest.mark.parametrize(
+        "channels,expected",
+        [(90, (2, 1, 8)), (91, (1, 1, 8)), (92, (4, 1, 1)), (93, (1, 1, 8))],
+    )
+    def test_table5_workgroups(self, layer16, channels, expected):
+        spec = layer16.with_out_channels(channels)
+        assert select_workgroup(spec).as_tuple() == expected
+
+    def test_original_sizes_use_wide_workgroup(self, resnet50):
+        # All stock ResNet-50 filter counts are multiples of 4.
+        for ref in resnet50.conv_layers():
+            assert select_workgroup(ref.spec).as_tuple() == (4, 1, 1)
+
+
+class TestEfficiencyModel:
+    def test_pointwise_layers_lose_more_from_odd_channels(self, layer14, layer16):
+        pointwise_odd, _ = kernel_efficiency(layer14.with_out_channels(511))
+        spatial_odd, _ = kernel_efficiency(layer16.with_out_channels(127))
+        pointwise_full, _ = kernel_efficiency(layer14)
+        spatial_full, _ = kernel_efficiency(layer16)
+        assert pointwise_odd / pointwise_full < spatial_odd / spatial_full
+
+    def test_narrow_workgroup_hurts_locality_on_large_maps(self, resnet50):
+        large_map = resnet50.conv_layer(1).spec  # 56x56 input
+        small_map = resnet50.conv_layer(47).spec  # 7x7 input
+        _, large_locality = kernel_efficiency(large_map.with_out_channels(63))
+        _, small_locality = kernel_efficiency(small_map.with_out_channels(511))
+        assert large_locality < small_locality
+
+    def test_multiple_of_four_is_fully_efficient(self, layer16):
+        efficiency, locality = kernel_efficiency(layer16)
+        assert efficiency == 1.0
+        assert locality == 1.0
+
+
+class TestPlanStructure:
+    def test_single_kernel_single_job(self, acl_direct, layer16, hikey):
+        plan = acl_direct.plan(layer16, hikey)
+        assert len(plan) == 1
+        assert plan.job_count == 1
+
+    def test_kernel_name_reflects_filter_size(self, acl_direct, layer16, layer14, hikey):
+        assert acl_direct.plan(layer16, hikey).kernel_names() == ["direct_convolution3x3_nhwc"]
+        assert acl_direct.plan(layer14, hikey).kernel_names() == ["direct_convolution1x1_nhwc"]
+
+    def test_instructions_scale_with_macs(self, acl_direct, layer16, hikey):
+        half = acl_direct.plan_with_channels(layer16, 64, hikey)
+        full = acl_direct.plan_with_channels(layer16, 128, hikey)
+        ratio = full.total_arithmetic_instructions / half.total_arithmetic_instructions
+        assert ratio == pytest.approx(2.0, rel=0.01)
+
+    def test_rejects_cuda_devices(self, acl_direct, layer16, tx2):
+        with pytest.raises(LibraryError):
+            acl_direct.plan(layer16, tx2)
+
+
+class TestSimulatedBehaviour:
+    def test_three_execution_levels(self, acl_direct, layer14, hikey, hikey_simulator):
+        """Figure 12: three alternating latency levels for a 1x1 layer."""
+
+        times = {
+            divisibility: hikey_simulator.run_time_ms(
+                acl_direct.plan_with_channels(layer14, channels, hikey)
+            )
+            for divisibility, channels in ((4, 508), (2, 510), (1, 509))
+        }
+        assert times[4] < times[2] < times[1]
+        assert times[1] / times[4] > 1.5
+
+    def test_pruning_one_channel_causes_slowdown(self, acl_direct, layer14, hikey, hikey_simulator):
+        """Figure 10: prune=1 gives sub-unit speedups (slowdowns) for 1x1 layers."""
+
+        original = hikey_simulator.run_time_ms(acl_direct.plan(layer14, hikey))
+        pruned = hikey_simulator.run_time_ms(acl_direct.plan_with_channels(layer14, 511, hikey))
+        speedup = original / pruned
+        assert speedup < 0.8
+
+    def test_3x3_layers_only_mildly_affected(self, acl_direct, layer16, hikey, hikey_simulator):
+        original = hikey_simulator.run_time_ms(acl_direct.plan(layer16, hikey))
+        pruned = hikey_simulator.run_time_ms(acl_direct.plan_with_channels(layer16, 127, hikey))
+        speedup = original / pruned
+        assert 0.6 < speedup <= 1.05
+
+    def test_instruction_increase_is_tiny_but_slowdown_is_not(
+        self, acl_direct, layer16, hikey, hikey_simulator
+    ):
+        """Table V: ~1% more instructions per channel, far larger runtime swings."""
+
+        plan_90 = acl_direct.plan_with_channels(layer16, 90, hikey)
+        plan_91 = acl_direct.plan_with_channels(layer16, 91, hikey)
+        instruction_ratio = plan_91.total_instructions / plan_90.total_instructions
+        assert instruction_ratio < 1.03
+        time_ratio = (
+            hikey_simulator.run_time_ms(plan_91) / hikey_simulator.run_time_ms(plan_90)
+        )
+        assert time_ratio > 1.08
+
+    def test_direct_slower_than_gemm(self, acl_direct, acl_gemm, layer16, hikey, hikey_simulator):
+        """Section IV-A.2: direct convolution is generally the slower method."""
+
+        direct_time = hikey_simulator.run_time_ms(acl_direct.plan(layer16, hikey))
+        gemm_time = hikey_simulator.run_time_ms(acl_gemm.plan(layer16, hikey))
+        assert direct_time > gemm_time
+
+    def test_deep_pruning_gives_large_speedups(self, acl_direct, layer16, hikey, hikey_simulator):
+        """Figure 10: >10x speedups at a pruning distance of 127 channels."""
+
+        original = hikey_simulator.run_time_ms(acl_direct.plan(layer16, hikey))
+        tiny = hikey_simulator.run_time_ms(acl_direct.plan_with_channels(layer16, 4, hikey))
+        assert original / tiny > 5.0

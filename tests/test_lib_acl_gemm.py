@@ -1,0 +1,184 @@
+"""Tests for the ACL GEMM planning model (Tables I-IV, Figures 3/14/15)."""
+
+import pytest
+
+from repro.gpusim import GpuSimulator
+from repro.libraries import LibraryError, pad_channels, split_columns
+from repro.libraries.acl_gemm import (
+    GEMM_ARITH_PER_COLUMN,
+    GEMM_MEM_PER_COLUMN,
+    RESHAPE_ARITH,
+)
+
+
+class TestChannelPadding:
+    def test_multiples_of_four_unchanged(self):
+        for channels in (4, 92, 96, 128, 2048):
+            assert pad_channels(channels) == channels
+
+    def test_padding_rounds_up_to_four(self):
+        assert pad_channels(93) == 96
+        assert pad_channels(97) == 100
+        assert pad_channels(1) == 4
+
+
+class TestSplitHeuristic:
+    """The kernel-split rule reverse-engineered from Tables I-IV."""
+
+    def test_92_channels_split_80_plus_12(self):
+        split = split_columns(92)
+        assert split.is_split
+        assert (split.main_columns, split.remainder_columns) == (80, 12)
+
+    @pytest.mark.parametrize("channels", [93, 94, 95, 96])
+    def test_93_to_96_channels_single_96_column_kernel(self, channels):
+        split = split_columns(channels)
+        assert not split.is_split
+        assert split.main_columns == 96
+
+    def test_97_channels_split_96_plus_4(self):
+        split = split_columns(97)
+        assert split.is_split
+        assert (split.main_columns, split.remainder_columns) == (96, 4)
+
+    def test_76_split_but_78_single(self):
+        """Figure 14: 78 channels run 1.83x faster than 76."""
+
+        assert split_columns(76).is_split
+        assert not split_columns(78).is_split
+
+    def test_2024_single_but_2036_split(self):
+        """Figure 15: 2024 channels run ~2.6x faster than 2036."""
+
+        assert not split_columns(2024).is_split
+        assert split_columns(2036).is_split
+
+    def test_total_columns_cover_padded_channels(self):
+        for channels in range(1, 200):
+            split = split_columns(channels)
+            assert split.total_columns == pad_channels(channels)
+
+    def test_small_layers_never_split(self):
+        for channels in range(1, 16):
+            assert not split_columns(channels).is_split
+
+    def test_multiples_of_eight_never_split(self):
+        for channels in range(8, 2064, 8):
+            assert not split_columns(channels).is_split
+
+
+class TestPlanStructure:
+    def test_kernel_names_match_paper(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 93, hikey)
+        assert plan.kernel_names() == ["im2col3x3_nhwc", "reshape_to_columns", "gemm_mm"]
+
+    def test_split_configuration_has_two_gemm_kernels(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 92, hikey)
+        assert len(plan.kernels_named("gemm_mm")) == 2
+
+    def test_only_gemm_kernels_dispatch_jobs(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 97, hikey)
+        assert plan.job_count == 2
+        for kernel in plan:
+            assert kernel.dispatches_job == (kernel.name == "gemm_mm")
+
+    def test_pointwise_layer_uses_1x1_im2col_kernel(self, acl_gemm, layer14, hikey):
+        plan = acl_gemm.plan(layer14, hikey)
+        assert plan.kernel_names()[0] == "im2col1x1_nhwc"
+
+    def test_rejects_cuda_devices(self, acl_gemm, layer16, tx2):
+        with pytest.raises(LibraryError):
+            acl_gemm.plan(layer16, tx2)
+
+    def test_reshape_cost_independent_of_channels(self, acl_gemm, layer16, hikey):
+        plans = [acl_gemm.plan_with_channels(layer16, c, hikey) for c in (64, 92, 128)]
+        costs = {plan.find("reshape_to_columns").arithmetic_instructions for plan in plans}
+        assert len(costs) == 1
+
+    def test_im2col_cost_grows_with_channels(self, acl_gemm, layer16, hikey):
+        small = acl_gemm.plan_with_channels(layer16, 64, hikey).find("im2col3x3_nhwc")
+        large = acl_gemm.plan_with_channels(layer16, 128, hikey).find("im2col3x3_nhwc")
+        assert large.arithmetic_instructions > small.arithmetic_instructions
+
+
+class TestCalibration:
+    """The instruction model reproduces Tables I-IV exactly for layer 16."""
+
+    def test_gemm_per_column_constants(self):
+        assert GEMM_ARITH_PER_COLUMN == 848_055_936 // 96
+        assert GEMM_MEM_PER_COLUMN == 43_521_408 // 96
+
+    def test_table2_gemm_kernel(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 93, hikey)
+        gemm = plan.find("gemm_mm")
+        assert gemm.arithmetic_instructions == 848_055_936
+        assert gemm.memory_instructions == 43_521_408
+
+    def test_table1_split_gemm_kernels(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 92, hikey)
+        main, remainder = plan.kernels_named("gemm_mm")
+        assert main.arithmetic_instructions == 706_713_280
+        assert main.memory_instructions == 36_267_840
+        assert remainder.arithmetic_instructions == 106_006_992
+        assert remainder.memory_instructions == 5_440_176
+
+    def test_table4_remainder_kernel(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 97, hikey)
+        _, remainder = plan.kernels_named("gemm_mm")
+        assert remainder.arithmetic_instructions == 35_335_664
+        assert remainder.memory_instructions == 1_813_392
+
+    def test_reshape_instruction_counts(self, acl_gemm, layer16, hikey):
+        plan = acl_gemm.plan_with_channels(layer16, 96, hikey)
+        reshape = plan.find("reshape_to_columns")
+        assert reshape.arithmetic_instructions == RESHAPE_ARITH == 44_183_104
+        assert reshape.memory_instructions == 3_615_808
+
+    def test_im2col_instruction_counts(self, acl_gemm, layer16, hikey):
+        expected = {92: (1_365_198, 212_152), 93: (1_379_034, 214_458),
+                    96: (1_420_542, 221_376), 97: (1_434_378, 223_682)}
+        for channels, (arith, mem) in expected.items():
+            kernel = acl_gemm.plan_with_channels(layer16, channels, hikey).find("im2col3x3_nhwc")
+            assert kernel.arithmetic_instructions == arith
+            assert kernel.memory_instructions == mem
+
+
+class TestSimulatedBehaviour:
+    """The planner + simulator reproduce the paper's latency anomalies."""
+
+    def test_92_slower_than_93_despite_less_work(self, acl_gemm, layer16, hikey, hikey_simulator):
+        plan_92 = acl_gemm.plan_with_channels(layer16, 92, hikey)
+        plan_93 = acl_gemm.plan_with_channels(layer16, 93, hikey)
+        assert plan_92.total_arithmetic_instructions < plan_93.total_arithmetic_instructions
+        time_92 = hikey_simulator.run_time_ms(plan_92)
+        time_93 = hikey_simulator.run_time_ms(plan_93)
+        assert time_92 > time_93
+        # The paper measures 23 ms vs 14 ms (a ~1.64x gap).
+        assert 1.3 < time_92 / time_93 < 2.1
+
+    def test_97_slower_than_96(self, acl_gemm, layer16, hikey, hikey_simulator):
+        time_97 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer16, 97, hikey))
+        time_96 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer16, 96, hikey))
+        assert 1.3 < time_97 / time_96 < 2.2
+
+    def test_78_faster_than_76(self, acl_gemm, layer16, hikey, hikey_simulator):
+        time_76 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer16, 76, hikey))
+        time_78 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer16, 78, hikey))
+        assert time_78 < time_76
+
+    def test_2024_faster_than_2036(self, acl_gemm, layer45, hikey, hikey_simulator):
+        time_2024 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer45, 2024, hikey))
+        time_2036 = hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer45, 2036, hikey))
+        assert time_2036 > 1.3 * time_2024
+
+    def test_flat_within_vec4_groups(self, acl_gemm, layer16, hikey, hikey_simulator):
+        times = [
+            hikey_simulator.run_time_ms(acl_gemm.plan_with_channels(layer16, c, hikey))
+            for c in (93, 94, 95, 96)
+        ]
+        assert max(times) / min(times) < 1.02
+
+    def test_odroid_slower_than_hikey(self, acl_gemm, layer16, hikey, odroid):
+        hikey_time = GpuSimulator(hikey).run_time_ms(acl_gemm.plan(layer16, hikey))
+        odroid_time = GpuSimulator(odroid).run_time_ms(acl_gemm.plan(layer16, odroid))
+        assert odroid_time > hikey_time

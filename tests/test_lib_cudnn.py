@@ -1,0 +1,119 @@
+"""Tests for the cuDNN planning model (Figures 2, 4-9)."""
+
+import pytest
+
+from repro.libraries import LibraryError, padded_channels, select_tile
+
+
+class TestTileSelection:
+    def test_small_layers_use_32_channel_tiles(self):
+        for channels in (1, 32, 64, 96, 128):
+            assert select_tile(channels) == 32
+
+    def test_medium_layers_use_64_channel_tiles(self):
+        for channels in (129, 192, 256):
+            assert select_tile(channels) == 64
+
+    def test_large_layers_use_128_channel_tiles(self):
+        for channels in (257, 512, 1024, 2048):
+            assert select_tile(channels) == 128
+
+    def test_padded_channels_rounds_to_tile(self):
+        assert padded_channels(65) == (96, 32)
+        assert padded_channels(96) == (96, 32)
+        assert padded_channels(97) == (128, 32)
+        assert padded_channels(385) == (512, 128)
+        assert padded_channels(512) == (512, 128)
+
+
+class TestPlanStructure:
+    def test_plan_has_setup_and_conv_kernels(self, cudnn, layer16, tx2):
+        plan = cudnn.plan(layer16, tx2)
+        assert plan.kernel_names() == ["cudnn_convolution_setup", "implicit_gemm_conv2d"]
+        assert plan.job_count == 1
+
+    def test_rejects_opencl_devices(self, cudnn, layer16, hikey):
+        with pytest.raises(LibraryError):
+            cudnn.plan(layer16, hikey)
+
+    def test_work_padded_to_full_tiles(self, cudnn, layer16, tx2):
+        plan_65 = cudnn.plan_with_channels(layer16, 65, tx2)
+        plan_96 = cudnn.plan_with_channels(layer16, 96, tx2)
+        assert (
+            plan_65.find("implicit_gemm_conv2d").arithmetic_instructions
+            == plan_96.find("implicit_gemm_conv2d").arithmetic_instructions
+        )
+
+    def test_notes_expose_tile_choice(self, cudnn, layer16, tx2):
+        assert "tile_channels=32" in cudnn.plan(layer16, tx2).notes
+
+
+class TestSimulatedStaircase:
+    def test_flat_above_97_channels(self, cudnn_runner, layer16):
+        """Figure 4: inference time is flat for 97..128 channels."""
+
+        times = [cudnn_runner.measure(layer16, c).median_time_ms for c in (97, 110, 128)]
+        assert max(times) / min(times) < 1.05
+
+    def test_step_at_96_is_about_1_3x(self, cudnn_runner, layer16):
+        time_128 = cudnn_runner.measure(layer16, 128).median_time_ms
+        time_96 = cudnn_runner.measure(layer16, 96).median_time_ms
+        assert 1.2 < time_128 / time_96 < 1.45
+
+    def test_second_step_at_64(self, cudnn_runner, layer16):
+        time_96 = cudnn_runner.measure(layer16, 96).median_time_ms
+        time_64 = cudnn_runner.measure(layer16, 64).median_time_ms
+        assert time_96 / time_64 > 1.2
+
+    def test_no_slowdown_anywhere(self, cudnn_runner, layer16):
+        """Figure 6: cuDNN never runs a pruned layer slower than the original."""
+
+        baseline = cudnn_runner.measure(layer16, 128).median_time_ms
+        for channels in range(1, 128, 7):
+            assert cudnn_runner.measure(layer16, channels).median_time_ms <= baseline * 1.05
+
+    def test_max_speedup_about_3x(self, cudnn_runner, layer16):
+        """Figure 6: pruning 127 channels of layer 16 yields ~3.3x."""
+
+        baseline = cudnn_runner.measure(layer16, 128).median_time_ms
+        best = cudnn_runner.measure(layer16, 1).median_time_ms
+        assert 2.8 < baseline / best < 3.9
+
+    def test_uneven_steps_for_512_filter_layer(self, cudnn_runner, layer14):
+        """Figure 5: the larger layer has wider, uneven stairs."""
+
+        time_512 = cudnn_runner.measure(layer14, 512).median_time_ms
+        time_385 = cudnn_runner.measure(layer14, 385).median_time_ms
+        time_256 = cudnn_runner.measure(layer14, 256).median_time_ms
+        time_128 = cudnn_runner.measure(layer14, 128).median_time_ms
+        # Flat across the top tile range, then decreasing.
+        assert time_512 / time_385 < 1.05
+        assert time_385 > time_256 > time_128
+
+    def test_nano_same_pattern_scaled(self, cudnn, layer14, tx2, nano):
+        """Figure 7: the Nano shows the TX2's pattern, a few times slower."""
+
+        from repro.gpusim import GpuSimulator
+
+        tx2_times = [
+            GpuSimulator(tx2).run_time_ms(cudnn.plan_with_channels(layer14, c, tx2))
+            for c in (128, 256, 384, 512)
+        ]
+        nano_times = [
+            GpuSimulator(nano).run_time_ms(cudnn.plan_with_channels(layer14, c, nano))
+            for c in (128, 256, 384, 512)
+        ]
+        scaling = [nano / tx2_time for nano, tx2_time in zip(nano_times, tx2_times)]
+        assert all(2.0 < s < 4.5 for s in scaling)
+        # Pattern preserved: ordering of times by channel count is identical.
+        assert sorted(range(4), key=lambda i: tx2_times[i]) == sorted(
+            range(4), key=lambda i: nano_times[i]
+        )
+
+    def test_pruning_one_channel_never_hurts(self, cudnn_runner, layer16, layer14):
+        """Figure 6, Prune=1 row: all values are 1.0."""
+
+        for spec in (layer16, layer14):
+            baseline = cudnn_runner.measure(spec).median_time_ms
+            pruned = cudnn_runner.measure(spec, spec.out_channels - 1).median_time_ms
+            assert pruned == pytest.approx(baseline, rel=0.05)

@@ -1,0 +1,134 @@
+"""Tests for the TVM planning model (Figures 19 and 20)."""
+
+import pytest
+
+from repro.libraries import LibraryError, ScheduleClass, schedule_class
+from repro.libraries.tvm import configuration_bucket
+
+
+class TestScheduleSelection:
+    def test_figure20_layer_is_tuned_at_its_original_size(self, layer14, layer16):
+        """Figure 20 shows the unpruned 512-filter layer in the fast band."""
+
+        assert schedule_class(layer14) is ScheduleClass.TUNED
+        assert schedule_class(layer16) is ScheduleClass.TUNED
+
+    def test_some_stock_sizes_are_untuned(self, resnet50):
+        """Figure 19: a few layers see >8x speedups from pruning, which is
+        only possible if their *original* configuration is untuned."""
+
+        from repro.models import profiled_layer_indices
+
+        classes = [
+            schedule_class(resnet50.conv_layer(index).spec)
+            for index in profiled_layer_indices("resnet50")
+        ]
+        untuned = sum(1 for c in classes if c is not ScheduleClass.TUNED)
+        assert 1 <= untuned <= 12
+
+    def test_selection_is_deterministic(self, layer14):
+        for channels in range(1, 200):
+            spec = layer14.with_out_channels(channels)
+            assert schedule_class(spec) is schedule_class(spec)
+
+    def test_bucket_in_range(self, layer14):
+        for channels in range(1, 100):
+            assert 0 <= configuration_bucket(layer14.with_out_channels(channels)) < 100
+
+    def test_some_configurations_fall_back(self, layer14):
+        """Figure 20: a significant number of sizes are untuned out of the box."""
+
+        classes = [
+            schedule_class(layer14.with_out_channels(channels))
+            for channels in range(1, 513)
+        ]
+        fallback_fraction = sum(1 for c in classes if c is ScheduleClass.FALLBACK) / len(classes)
+        assert 0.05 < fallback_fraction < 0.35
+
+    def test_most_configurations_are_tuned(self, layer14):
+        classes = [
+            schedule_class(layer14.with_out_channels(channels))
+            for channels in range(1, 513)
+        ]
+        tuned_fraction = sum(1 for c in classes if c is ScheduleClass.TUNED) / len(classes)
+        assert tuned_fraction > 0.5
+
+    def test_bucket_depends_on_layer_shape(self, layer14, layer16):
+        """The same channel count can be tuned for one layer and not another."""
+
+        differing = [
+            channels
+            for channels in range(1, 128)
+            if schedule_class(layer14.with_out_channels(channels))
+            is not schedule_class(layer16.with_out_channels(channels))
+        ]
+        assert differing
+
+
+class TestPlanStructure:
+    def test_single_kernel_plan(self, tvm, layer14, hikey):
+        plan = tvm.plan(layer14, hikey)
+        assert len(plan) == 1
+        assert plan.kernels[0].name.startswith("tvm_conv2d_")
+
+    def test_kernel_name_encodes_schedule_class(self, tvm, layer14, hikey):
+        plan = tvm.plan(layer14, hikey)
+        assert plan.kernel_names() == [f"tvm_conv2d_{schedule_class(layer14).value}"]
+        assert plan.kernel_names() == ["tvm_conv2d_tuned"]
+
+    def test_rejects_cuda_devices(self, tvm, layer14, tx2):
+        with pytest.raises(LibraryError):
+            tvm.plan(layer14, tx2)
+
+    def test_fallback_uses_more_instructions(self, tvm, layer14, hikey):
+        fallback_channels = next(
+            channels
+            for channels in range(500, 1, -1)
+            if schedule_class(layer14.with_out_channels(channels)) is ScheduleClass.FALLBACK
+        )
+        tuned_plan = tvm.plan_with_channels(layer14, 512, hikey)
+        fallback_plan = tvm.plan_with_channels(layer14, fallback_channels, hikey)
+        tuned_per_channel = tuned_plan.total_arithmetic_instructions / 512
+        fallback_per_channel = (
+            fallback_plan.total_arithmetic_instructions / fallback_channels
+        )
+        assert fallback_per_channel > 2 * tuned_per_channel
+
+
+class TestSimulatedBehaviour:
+    def test_fallback_spike_is_roughly_order_of_magnitude(self, hikey, tvm, layer14, hikey_simulator):
+        """Figure 20: untuned sizes run ~10x slower than tuned neighbours."""
+
+        fallback_channels = next(
+            channels
+            for channels in range(500, 400, -1)
+            if schedule_class(layer14.with_out_channels(channels)) is ScheduleClass.FALLBACK
+        )
+        tuned_neighbour = next(
+            channels
+            for channels in range(fallback_channels, 520)
+            if schedule_class(layer14.with_out_channels(channels)) is ScheduleClass.TUNED
+        )
+        slow = hikey_simulator.run_time_ms(tvm.plan_with_channels(layer14, fallback_channels, hikey))
+        fast = hikey_simulator.run_time_ms(tvm.plan_with_channels(layer14, tuned_neighbour, hikey))
+        assert 5.0 < slow / fast < 20.0
+
+    def test_pruning_can_cause_dramatic_slowdown(self, hikey, tvm, layer14, hikey_simulator):
+        """Figure 19: some prune distances give near-zero 'speedups'."""
+
+        baseline = hikey_simulator.run_time_ms(tvm.plan(layer14, hikey))
+        worst = max(
+            hikey_simulator.run_time_ms(tvm.plan_with_channels(layer14, channels, hikey))
+            for channels in range(480, 512)
+        )
+        assert baseline / worst < 0.5
+
+    def test_tuned_configurations_scale_with_work(self, hikey, tvm, layer14, hikey_simulator):
+        small_tuned = next(
+            channels
+            for channels in range(128, 160)
+            if schedule_class(layer14.with_out_channels(channels)) is ScheduleClass.TUNED
+        )
+        quarter = hikey_simulator.run_time_ms(tvm.plan_with_channels(layer14, small_tuned, hikey))
+        full = hikey_simulator.run_time_ms(tvm.plan_with_channels(layer14, 512, hikey))
+        assert 2.0 < full / quarter < 5.0

@@ -1,0 +1,172 @@
+"""Tests for the NumPy convolution substrate (direct, im2col and GEMM)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ConvLayerSpec
+from repro.nn import (
+    conv_bias,
+    conv_input,
+    conv_weights,
+    direct_conv2d,
+    direct_conv2d_for_spec,
+    gemm_conv2d,
+    gemm_conv2d_for_spec,
+    gemm_dimensions,
+    im2col,
+    im2col_for_spec,
+    memory_expansion_factor,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        name="nn.test", in_channels=4, out_channels=6,
+        kernel_size=3, stride=1, padding=1, input_hw=8,
+    )
+    defaults.update(overrides)
+    return ConvLayerSpec(**defaults)
+
+
+class TestIm2col:
+    def test_output_shape(self):
+        inputs = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)
+        columns = im2col(inputs, kernel_size=3, stride=1, padding=1)
+        assert columns.shape == (2, 3 * 9, 64)
+
+    def test_stride_two_shape(self):
+        inputs = np.zeros((1, 2, 8, 8), dtype=np.float32)
+        columns = im2col(inputs, kernel_size=3, stride=2, padding=1)
+        assert columns.shape == (1, 18, 16)
+
+    def test_one_by_one_kernel_is_reshape(self):
+        inputs = np.random.default_rng(1).standard_normal((1, 5, 4, 4)).astype(np.float32)
+        columns = im2col(inputs, kernel_size=1, stride=1, padding=0)
+        np.testing.assert_array_equal(columns[0], inputs[0].reshape(5, 16))
+
+    def test_known_values_single_patch(self):
+        # 2x2 input, 2x2 kernel, single output position: the column is the
+        # flattened input patch.
+        inputs = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        columns = im2col(inputs, kernel_size=2, stride=1, padding=0)
+        np.testing.assert_array_equal(columns[0, :, 0], [0, 1, 2, 3])
+
+    def test_padding_adds_zero_border(self):
+        inputs = np.ones((1, 1, 2, 2), dtype=np.float32)
+        columns = im2col(inputs, kernel_size=3, stride=1, padding=1)
+        # Centre column (output position 0,0) sees zeros on top/left.
+        assert columns[0, 0, 0] == 0.0
+        assert columns[0, 4, 0] == 1.0
+
+    def test_requires_4d_input(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 8, 8), dtype=np.float32), 3, 1, 1)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 2, 2), dtype=np.float32), 5, 1, 0)
+
+    def test_matches_spec_geometry(self):
+        spec = small_spec()
+        columns = im2col_for_spec(conv_input(spec), spec)
+        assert columns.shape[1:] == spec.im2col_matrix_shape
+
+    def test_memory_expansion_about_nine_for_3x3(self):
+        factor = memory_expansion_factor(small_spec())
+        assert 8.0 < factor <= 9.0
+
+
+class TestConvCorrectness:
+    def test_direct_matches_gemm(self):
+        spec = small_spec()
+        inputs, weights, bias = conv_input(spec), conv_weights(spec), conv_bias(spec)
+        direct = direct_conv2d_for_spec(inputs, weights, bias, spec)
+        gemm = gemm_conv2d_for_spec(inputs, weights, bias, spec)
+        np.testing.assert_allclose(direct, gemm, rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("kernel_size,stride,padding", [(1, 1, 0), (3, 2, 1), (5, 1, 2), (3, 1, 0)])
+    def test_direct_matches_gemm_across_geometries(self, kernel_size, stride, padding):
+        spec = small_spec(kernel_size=kernel_size, stride=stride, padding=padding, input_hw=9)
+        inputs, weights, bias = conv_input(spec), conv_weights(spec), conv_bias(spec)
+        direct = direct_conv2d_for_spec(inputs, weights, bias, spec)
+        gemm = gemm_conv2d_for_spec(inputs, weights, bias, spec)
+        assert direct.shape == gemm.shape
+        np.testing.assert_allclose(direct, gemm, rtol=1e-4, atol=1e-4)
+
+    def test_identity_kernel_reproduces_input(self):
+        # A single 1x1 filter with weight 1 copies the input channel.
+        inputs = np.random.default_rng(3).standard_normal((1, 1, 6, 6)).astype(np.float32)
+        weights = np.ones((1, 1, 1, 1), dtype=np.float32)
+        out = direct_conv2d(inputs, weights)
+        np.testing.assert_allclose(out, inputs, rtol=1e-6)
+
+    def test_known_sum_kernel(self):
+        # All-ones 2x2 kernel over an all-ones input sums 4 per output.
+        inputs = np.ones((1, 1, 3, 3), dtype=np.float32)
+        weights = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = gemm_conv2d(inputs, weights)
+        np.testing.assert_allclose(out, np.full((1, 1, 2, 2), 4.0))
+
+    def test_bias_is_added(self):
+        inputs = np.zeros((1, 2, 4, 4), dtype=np.float32)
+        weights = np.zeros((3, 2, 1, 1), dtype=np.float32)
+        bias = np.array([1.0, -2.0, 0.5], dtype=np.float32)
+        out = gemm_conv2d(inputs, weights, bias)
+        assert np.allclose(out[0, 0], 1.0)
+        assert np.allclose(out[0, 1], -2.0)
+        assert np.allclose(out[0, 2], 0.5)
+
+    def test_batch_dimension_independent(self):
+        spec = small_spec()
+        weights, bias = conv_weights(spec), conv_bias(spec)
+        batched = conv_input(spec, batch=3)
+        full = gemm_conv2d_for_spec(batched, weights, bias, spec)
+        single = gemm_conv2d_for_spec(batched[1:2], weights, bias, spec)
+        np.testing.assert_allclose(full[1:2], single, rtol=1e-4, atol=1e-5)
+
+    def test_channel_mismatch_rejected(self):
+        spec = small_spec()
+        weights = conv_weights(spec.with_in_channels(8))
+        with pytest.raises(ValueError):
+            gemm_conv2d_for_spec(conv_input(spec), weights, None, spec)
+        with pytest.raises(ValueError):
+            direct_conv2d_for_spec(conv_input(spec), weights, None, spec)
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            direct_conv2d(np.zeros((1, 1, 4, 4), dtype=np.float32),
+                          np.zeros((1, 1, 2, 3), dtype=np.float32))
+
+    def test_output_dtype_is_float32(self):
+        spec = small_spec()
+        out = gemm_conv2d_for_spec(conv_input(spec), conv_weights(spec), None, spec)
+        assert out.dtype == np.float32
+
+
+class TestGemmDimensions:
+    def test_matches_paper_calibration_layer(self, layer16):
+        m, k, n = gemm_dimensions(layer16)
+        assert (m, k, n) == (128, 1152, 784)
+
+    def test_pointwise_layer(self, layer14):
+        m, k, n = gemm_dimensions(layer14)
+        assert (m, k, n) == (512, 256, 784)
+
+
+class TestDeterministicTensors:
+    def test_weights_are_reproducible(self):
+        spec = small_spec()
+        np.testing.assert_array_equal(conv_weights(spec), conv_weights(spec))
+
+    def test_different_layers_get_different_weights(self):
+        a = conv_weights(small_spec(name="layer.a"))
+        b = conv_weights(small_spec(name="layer.b"))
+        assert not np.array_equal(a, b)
+
+    def test_bias_zero_when_disabled(self):
+        spec = small_spec(bias=False)
+        assert np.all(conv_bias(spec) == 0)
+
+    def test_input_shape(self):
+        spec = small_spec()
+        assert conv_input(spec, batch=2).shape == (2, 4, 8, 8)

@@ -1,0 +1,187 @@
+"""Tests for the non-convolutional operators and whole-network inference."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ActivationLayerSpec,
+    BatchNormLayerSpec,
+    ConvLayerSpec,
+    DropoutLayerSpec,
+    FullyConnectedLayerSpec,
+    PoolLayerSpec,
+    build_alexnet,
+    build_sequential_network,
+)
+from repro.nn import (
+    InferenceEngine,
+    batch_norm,
+    dropout,
+    fully_connected,
+    global_average_pool,
+    pool2d,
+    prune_weights,
+    relu,
+    run_single_layer,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.ops import activation
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        out = relu(np.array([-1.0, 0.0, 2.5], dtype=np.float32))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.5])
+
+    def test_tanh_range(self):
+        out = tanh(np.linspace(-5, 5, 11).astype(np.float32))
+        assert np.all(out >= -1.0) and np.all(out <= 1.0)
+
+    def test_sigmoid_midpoint(self):
+        assert sigmoid(np.zeros(1, dtype=np.float32))[0] == pytest.approx(0.5)
+
+    def test_activation_dispatch(self):
+        data = np.array([-1.0, 1.0], dtype=np.float32)
+        np.testing.assert_array_equal(activation(data, ActivationLayerSpec(name="a", kind="relu")), [0.0, 1.0])
+
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax(np.random.default_rng(0).standard_normal((3, 10)).astype(np.float32))
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_softmax_stable_for_large_logits(self):
+        probabilities = softmax(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        np.testing.assert_allclose(probabilities, [[0.5, 0.5]])
+
+
+class TestPooling:
+    def test_max_pool_halves_spatial(self):
+        spec = PoolLayerSpec(name="p", kernel_size=2, stride=2)
+        out = pool2d(np.ones((1, 3, 8, 8), dtype=np.float32), spec)
+        assert out.shape == (1, 3, 4, 4)
+
+    def test_max_pool_picks_maximum(self):
+        spec = PoolLayerSpec(name="p", kernel_size=2, stride=2)
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool2d(data, spec)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_averages(self):
+        spec = PoolLayerSpec(name="p", kernel_size=2, stride=2, mode="avg")
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool2d(data, spec)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_padded_max_pool_ignores_padding(self):
+        spec = PoolLayerSpec(name="p", kernel_size=3, stride=2, padding=1)
+        data = -np.ones((1, 1, 4, 4), dtype=np.float32)
+        out = pool2d(data, spec)
+        assert np.all(out == -1.0)
+
+    def test_global_average_pool(self):
+        data = np.ones((2, 5, 7, 7), dtype=np.float32) * 3.0
+        out = global_average_pool(data)
+        assert out.shape == (2, 5)
+        np.testing.assert_allclose(out, 3.0)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError):
+            pool2d(np.zeros((3, 8, 8), dtype=np.float32), PoolLayerSpec(name="p"))
+
+
+class TestOtherOps:
+    def test_batch_norm_preserves_shape(self):
+        spec = BatchNormLayerSpec(name="bn", num_features=6)
+        data = np.random.default_rng(0).standard_normal((2, 6, 4, 4)).astype(np.float32)
+        assert batch_norm(data, spec).shape == data.shape
+
+    def test_batch_norm_deterministic(self):
+        spec = BatchNormLayerSpec(name="bn", num_features=3)
+        data = np.ones((1, 3, 2, 2), dtype=np.float32)
+        np.testing.assert_array_equal(batch_norm(data, spec), batch_norm(data, spec))
+
+    def test_dropout_is_identity_at_inference(self):
+        spec = DropoutLayerSpec(name="d", rate=0.5)
+        data = np.random.default_rng(1).standard_normal((4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(dropout(data, spec), data)
+
+    def test_fully_connected_shapes(self):
+        spec = FullyConnectedLayerSpec(name="fc", in_features=32, out_features=10)
+        out = fully_connected(np.ones((2, 32), dtype=np.float32), spec)
+        assert out.shape == (2, 10)
+
+    def test_fully_connected_flattens_input(self):
+        spec = FullyConnectedLayerSpec(name="fc", in_features=2 * 4 * 4, out_features=5)
+        out = fully_connected(np.ones((1, 2, 4, 4), dtype=np.float32), spec)
+        assert out.shape == (1, 5)
+
+    def test_fully_connected_feature_mismatch(self):
+        spec = FullyConnectedLayerSpec(name="fc", in_features=10, out_features=5)
+        with pytest.raises(ValueError):
+            fully_connected(np.ones((1, 12), dtype=np.float32), spec)
+
+
+class TestInferenceEngine:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceEngine(method="winograd")
+
+    def test_run_single_layer_shapes(self, layer16):
+        small = layer16.with_in_channels(8).with_out_channels(4)
+        out = run_single_layer(small, method="gemm")
+        assert out.shape == (1, 4, small.output_hw, small.output_hw)
+
+    def test_gemm_and_direct_engines_agree(self):
+        spec = ConvLayerSpec(name="eng.conv", in_channels=3, out_channels=5,
+                             kernel_size=3, padding=1, input_hw=10)
+        gemm = run_single_layer(spec, method="gemm")
+        direct = run_single_layer(spec, method="direct")
+        np.testing.assert_allclose(gemm, direct, rtol=1e-4, atol=1e-4)
+
+    def test_run_network_end_to_end(self, alexnet):
+        engine = InferenceEngine(method="gemm")
+        result = engine.run_network(alexnet, batch=1)
+        assert result.output.shape == (1, 1000)
+
+    def test_run_network_keeps_activations(self):
+        layers = [
+            ConvLayerSpec(name="mini.conv", in_channels=3, out_channels=4,
+                          kernel_size=3, padding=1, input_hw=8),
+            ActivationLayerSpec(name="mini.relu"),
+        ]
+        network = build_sequential_network("Mini", layers, input_shape=(3, 8, 8))
+        result = InferenceEngine().run_network(network, keep_activations=True)
+        assert set(result.activations) == {"mini.conv", "mini.relu"}
+
+    def test_stop_after_limits_layers(self, alexnet):
+        engine = InferenceEngine()
+        result = engine.run_network(alexnet, stop_after=2)
+        # conv0 + relu: output still has conv0's 64 channels.
+        assert result.output.shape[1] == 64
+
+    def test_unsupported_layer_type_rejected(self):
+        class FakeSpec:
+            name = "fake"
+
+        with pytest.raises(TypeError):
+            InferenceEngine().run_layer(FakeSpec(), np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+class TestPruneWeights:
+    def test_selects_rows(self):
+        weights = np.arange(24, dtype=np.float32).reshape(4, 2, 1, 3)
+        pruned = prune_weights(weights, [0, 2])
+        np.testing.assert_array_equal(pruned, weights[[0, 2]])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            prune_weights(np.zeros((4, 1, 1, 1)), [1, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prune_weights(np.zeros((4, 1, 1, 1)), [4])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            prune_weights(np.zeros((4, 1, 1, 1)), [])
