@@ -4,10 +4,10 @@ import dataclasses
 
 from conftest import run_benchmarked
 
-from repro.gpusim import GpuSimulator, get_device
-from repro.libraries import get_library
+from repro.gpusim import DEVICES, GpuSimulator
+from repro.libraries import LIBRARIES
 from repro.libraries.acl_gemm import AclGemmLibrary
-from repro.models import build_model
+from repro.models import MODELS
 
 
 def test_ablation_importance_criterion(benchmark):
@@ -34,10 +34,10 @@ def test_ablation_vectorisation_width(benchmark):
     heuristics tuned to "common shapes" penalise pruned shapes.
     """
 
-    device = get_device("hikey-970")
-    network = build_model("resnet50")
+    device = DEVICES.get("hikey-970")
+    network = MODELS.create("resnet50")
     layer = network.conv_layer(16).spec
-    stock = get_library("acl-gemm")
+    stock = LIBRARIES.create("acl-gemm")
 
     class FineGrainedAcl(AclGemmLibrary):
         name = "acl-gemm"
@@ -59,12 +59,12 @@ def test_ablation_vectorisation_width(benchmark):
 def test_ablation_device_scaling(benchmark):
     """Scaling compute resources scales plateau heights but not positions."""
 
-    device = get_device("jetson-tx2")
+    device = DEVICES.get("jetson-tx2")
     doubled = dataclasses.replace(
         device, name="jetson-tx2-2x", alu_lanes_per_unit=2 * device.alu_lanes_per_unit
     )
-    library = get_library("cudnn")
-    network = build_model("resnet50")
+    library = LIBRARIES.create("cudnn")
+    network = MODELS.create("resnet50")
     layer = network.conv_layer(16).spec
 
     def measure():

@@ -3,7 +3,7 @@
 from conftest import run_benchmarked
 
 from repro.core import PerformanceAwarePruner
-from repro.models import build_model
+from repro.models import MODELS
 
 
 def test_proposal_comparison(benchmark):
@@ -26,7 +26,7 @@ def test_proposal_pareto_frontier(benchmark):
 def test_latency_budget_compression(benchmark):
     """Greedy latency-budget compression of a ResNet-50 layer subset."""
 
-    network = build_model("resnet50")
+    network = MODELS.create("resnet50")
     layer_indices = [15, 16, 24]
 
     def compress():
@@ -44,7 +44,7 @@ def test_latency_budget_compression(benchmark):
 def test_layer_profile_sweep(benchmark):
     """Cost of profiling one 512-filter layer across every channel count."""
 
-    network = build_model("resnet50")
+    network = MODELS.create("resnet50")
     layer = network.conv_layer(14).spec
 
     def sweep():

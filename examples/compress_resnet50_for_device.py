@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import PerformanceAwarePruner
-from repro.models import build_model
+from repro.api import Session, Target
 
 #: Profile a representative cross-section of ResNet-50's unique layer
 #: shapes to keep the example quick; the same code scales to all layers.
@@ -29,8 +28,9 @@ def main() -> None:
     device = sys.argv[1] if len(sys.argv) > 1 else "hikey-970"
     library = sys.argv[2] if len(sys.argv) > 2 else "acl-gemm"
 
-    network = build_model("resnet50")
-    pruner = PerformanceAwarePruner(device, library, runs=3)
+    session = Session()
+    network = session.network("resnet50")
+    pruner = session.pruner(Target(device, library, runs=3))
 
     baseline_ms = pruner.network_latency_ms(network, layer_indices=list(LAYERS))
     budget_ms = baseline_ms * 0.72

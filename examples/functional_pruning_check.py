@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ChannelPruner, get_criterion
-from repro.models import ConvLayerSpec, build_model
+from repro.core import CRITERIA, ChannelPruner
+from repro.models import MODELS, ConvLayerSpec
 from repro.nn import InferenceEngine, conv_input, conv_weights
 
 
@@ -28,7 +28,7 @@ def single_layer_check() -> None:
     )
     inputs = conv_input(spec)
     weights = conv_weights(spec)
-    pruner = ChannelPruner(get_criterion("l1"))
+    pruner = ChannelPruner(CRITERIA.create("l1"))
     pruned = pruner.prune_weights(spec, keep=20, weights=weights)
     kept = pruned["kept_channels"]
 
@@ -47,8 +47,8 @@ def single_layer_check() -> None:
 
 
 def whole_network_check() -> None:
-    network = build_model("alexnet")
-    pruner = ChannelPruner(get_criterion("sequential"))
+    network = MODELS.create("alexnet")
+    pruner = ChannelPruner(CRITERIA.create("sequential"))
     # Prune every convolution except the last one, whose output feeds the
     # fixed-size fully connected classifier.
     prunable = network.conv_layer_indices[:-1]

@@ -16,9 +16,9 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import latency_curve
+from repro.api import Session, Target
 from repro.core import analyze_table
-from repro.models import build_model
-from repro.profiling import ProfileRunner, build_latency_table
+from repro.profiling import build_latency_table
 
 TARGETS = (
     ("jetson-tx2", "cudnn"),
@@ -32,7 +32,8 @@ TARGETS = (
 
 def main() -> None:
     layer_index = int(sys.argv[1]) if len(sys.argv) > 1 else 16
-    network = build_model("resnet50")
+    session = Session()
+    network = session.network("resnet50")
     ref = network.conv_layer(layer_index)
     spec = ref.spec
     print(f"Layer {ref.label}: {spec.out_channels} filters, "
@@ -43,7 +44,7 @@ def main() -> None:
     print("-" * len(header))
 
     for device, library in TARGETS:
-        runner = ProfileRunner.create(device, library, runs=3)
+        runner = session.runner(Target(device, library, runs=3))
         counts = list(range(1, spec.out_channels + 1, 2)) + [spec.out_channels]
         table = build_latency_table(runner, spec, sorted(set(counts)))
         curve = latency_curve(runner, spec, ref.label, channel_counts=sorted(set(counts)))

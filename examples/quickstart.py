@@ -2,33 +2,39 @@
 """Quickstart: profile a layer, see the staircase, prune performance-aware.
 
 This walks through the library's main workflow on a single ResNet-50
-layer (the paper's layer 16):
+layer (the paper's layer 16) using the canonical ``repro.api`` facade:
 
-1. build the model zoo network and pick a layer,
-2. profile its latency across channel counts on a (device, library)
-   target — here the Arm Compute Library GEMM path on a HiKey 970,
+1. open a :class:`Session` and pick a :class:`Target` — here the Arm
+   Compute Library GEMM path on a HiKey 970,
+2. profile the layer's latency across channel counts (the session
+   caches the profile, so repeating it is free),
 3. analyse the staircase and find the step-optimal channel counts,
-4. compare a naive pruning choice with the performance-aware one.
+4. submit a serializable :class:`PruningRequest` and compare the
+   performance-aware strategy with the uninstructed baseline.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro.core import PerformanceAwarePruner, analyze_table
-from repro.models import build_model
+from repro.api import PruningRequest, Session, Target
 
 
 def main() -> None:
-    # 1. Pick a layer: ResNet-50 layer 16 (3x3, 128 filters, 28x28 input).
-    network = build_model("resnet50")
+    # 1. One session, one target.  Aliases work: Target("hikey", "acl").
+    session = Session()
+    target = Target("hikey-970", "acl-gemm", runs=5)
+    network = session.network("resnet50")
     layer = network.conv_layer(16).spec
+    print(f"Target: {target.label}  ({target.device_spec.board})")
     print(f"Layer: {layer.name}  ({layer.out_channels} filters, "
           f"{layer.kernel_size}x{layer.kernel_size}, {layer.input_hw}x{layer.input_hw} input)")
 
-    # 2. Profile it on the target: ACL GEMM running on the HiKey 970's Mali G72.
-    pruner = PerformanceAwarePruner("hikey-970", "acl-gemm", runs=5)
-    profile = pruner.profile_layer(layer, layer_index=16)
+    # 2. Profile it.  The second call is a cache hit — check the stats.
+    profile = session.profile_layer(target, layer, layer_index=16)
+    session.profile_layer(target, layer, layer_index=16)
+    stats = session.cache_stats
+    print(f"\nProfile cache: {stats.hits} hit(s), {stats.misses} miss(es)")
 
     print("\nLatency vs channel count (every 8th point):")
     counts, times = profile.table.as_series()
@@ -37,22 +43,28 @@ def main() -> None:
         print(f"  {count:>4} channels  {time_ms:>7.2f} ms  {bar}")
 
     # 3. Staircase analysis: where are the steps, which counts are optimal?
-    analysis = analyze_table(profile.table)
+    analysis = profile.analysis
     print(f"\nDistinct latency levels: {analysis.level_count}")
     print(f"Largest step ratio: {analysis.max_step_ratio:.2f}x")
     print(f"Step-optimal channel counts (top 6): {profile.optimal_channel_counts[-6:]}")
 
-    # 4. Naive vs performance-aware pruning of ~25% of the filters.
-    naive_target = 92  # 128 - 36 channels, chosen without profiling
-    snapped = pruner.snap_to_step(layer, naive_target)
-    naive_time = profile.time_at(naive_target)
-    snapped_time = profile.time_at(snapped)
+    # 4. Naive vs performance-aware pruning of ~28% of the filters (the
+    #    naive target, 92 channels, sits just past a performance step), as a
+    #    serializable job.  The request would survive a trip through a
+    #    queue: PruningRequest.from_json(request.to_json()) == request.
+    request = PruningRequest(
+        "resnet50", target, fraction=0.28, layer_indices=(16,), sweep_step=1
+    )
+    comparison = session.compare(request)
+    aware = comparison["performance-aware"]
+    naive = comparison["uninstructed"]
     original_time = profile.original_time_ms
     print(f"\nOriginal layer:            128 channels  {original_time:7.2f} ms")
-    print(f"Uninstructed pruning:      {naive_target:>3} channels  {naive_time:7.2f} ms "
-          f"({original_time / naive_time:.2f}x vs original)")
-    print(f"Performance-aware choice:  {snapped:>3} channels  {snapped_time:7.2f} ms "
-          f"({original_time / snapped_time:.2f}x vs original)")
+    print(f"Uninstructed pruning:      {naive.channels[16]:>3} channels  "
+          f"{naive.latency_ms:7.2f} ms ({naive.speedup:.2f}x vs original)")
+    print(f"Performance-aware choice:  {aware.channels[16]:>3} channels  "
+          f"{aware.latency_ms:7.2f} ms ({aware.speedup:.2f}x vs original)")
+    print(f"Latency advantage: {comparison.latency_advantage:.2f}x")
     print("\nThe naive choice lands on the slow staircase (an extra GPU job is "
           "dispatched for the GEMM remainder); the performance-aware choice keeps "
           "more channels *and* runs faster.")

@@ -14,18 +14,18 @@ Run with ``python examples/simulator_deep_dive.py``.
 
 from __future__ import annotations
 
-from repro.gpusim import GpuSimulator, format_instruction_table, get_device
+from repro.api import Session, Target
+from repro.gpusim import GpuSimulator, format_instruction_table
 from repro.gpusim.metrics import relative_system_counters
-from repro.libraries import get_library
-from repro.models import build_model
 from repro.profiling import profile_runs
 
 
 def main() -> None:
-    network = build_model("resnet50")
-    layer = network.conv_layer(16).spec
-    device = get_device("hikey-970")
-    library = get_library("acl-gemm")
+    target = Target("hikey-970", "acl-gemm")
+    session = Session()
+    layer = session.network("resnet50").conv_layer(16).spec
+    device = target.device_spec
+    library = target.create_library()
     simulator = GpuSimulator(device)
 
     results = {}

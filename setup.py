@@ -1,4 +1,61 @@
-"""Setuptools shim; project metadata lives in pyproject.toml."""
-from setuptools import setup
+"""Package metadata for the repro reproduction.
 
-setup()
+The version is sourced from ``repro.__version__`` (parsed textually so
+``setup.py`` works without NumPy installed).
+"""
+
+import pathlib
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = pathlib.Path(__file__).resolve().parent
+
+
+def _read_version() -> str:
+    text = (_HERE / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("repro.__version__ not found")
+    return match.group(1)
+
+
+def _read_readme() -> str:
+    readme = _HERE / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+
+setup(
+    name="repro-perf-aware-pruning",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'Performance Aware Convolutional Neural Network "
+        "Channel Pruning for Embedded GPUs' (IISWC 2019) on an analytical "
+        "embedded-GPU simulator"
+    ),
+    long_description=_read_readme(),
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

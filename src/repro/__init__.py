@@ -4,8 +4,19 @@ A full reproduction of Radu et al., "Performance Aware Convolutional
 Neural Network Channel Pruning for Embedded GPUs" (IISWC 2019), built on
 an analytical embedded-GPU simulator instead of physical boards.
 
+Start at :mod:`repro.api` — the canonical entry point::
+
+    from repro.api import Session, Target, PruningRequest
+
+    session = Session()
+    target = Target("hikey-970", "acl-gemm")
+    report = session.prune(PruningRequest("resnet50", target, fraction=0.25))
+
 Subpackages
 -----------
+``repro.api``
+    The official front door: ``Target``/``Session`` objects, the unified
+    plugin ``Registry`` and the serializable request/report pipeline.
 ``repro.models``
     CNN model zoo (ResNet-50, VGG-16, AlexNet) as layer-spec graphs.
 ``repro.nn``
@@ -26,20 +37,27 @@ Subpackages
 """
 
 from . import analysis, core, experiments, gpusim, libraries, models, nn, profiling
+from . import api
+from .api import PruningReport, PruningRequest, Session, Target
 from .core import PerformanceAwarePruner
 from .gpusim import GpuSimulator, get_device
 from .libraries import get_library
 from .models import build_model
 from .profiling import ProfileRunner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GpuSimulator",
     "PerformanceAwarePruner",
     "ProfileRunner",
+    "PruningReport",
+    "PruningRequest",
+    "Session",
+    "Target",
     "__version__",
     "analysis",
+    "api",
     "build_model",
     "core",
     "experiments",

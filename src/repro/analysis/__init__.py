@@ -1,4 +1,8 @@
-"""Analysis: speedup matrices, latency curves and report rendering."""
+"""Analysis: speedup matrices, latency curves and report rendering.
+
+Feed these from a :class:`repro.api.Session` runner so repeated analyses
+share layer measurements (see :mod:`repro.api`, the canonical entry point).
+"""
 
 from .curves import LatencyCurve, curve_from_table, latency_curve
 from .speedup import (

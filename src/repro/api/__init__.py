@@ -1,0 +1,96 @@
+"""``repro.api`` — the canonical front door to the reproduction.
+
+Most users need exactly four names::
+
+    from repro.api import Session, Target, PruningRequest, PruningReport
+
+    session = Session()
+    target = Target("hikey-970", "acl-gemm")
+    report = session.prune(PruningRequest("resnet50", target, fraction=0.25))
+
+* :class:`Target` — a validated, hashable (device, library) pair.
+* :class:`Session` — cross-call profile caching plus ``prune``/``compare``.
+* :class:`PruningRequest` / :class:`PruningReport` — JSON-serializable
+  job and result objects a service can ship verbatim.
+* :class:`Registry` — the one plugin-registry idiom backing the device,
+  library, criterion, model and experiment registries.
+
+Attributes are resolved lazily (PEP 562) so that low-level modules can
+import :mod:`repro.api.registry` without dragging in the whole package
+— the registry is the foundation everything else is built on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .registry import Registry, RegistryError, UnknownPluginError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import (
+        STRATEGIES,
+        ComparisonReport,
+        PruningReport,
+        PruningRequest,
+        RequestError,
+    )
+    from .session import CacheStats, Session
+    from .target import (
+        DEFAULT_TARGET_RUNS,
+        Target,
+        TargetError,
+        default_targets,
+        iter_all_targets,
+    )
+
+#: Lazily-imported public attributes: name -> submodule.
+_LAZY_ATTRS = {
+    "Target": "target",
+    "TargetError": "target",
+    "TargetLike": "target",
+    "DEFAULT_TARGET_RUNS": "target",
+    "default_targets": "target",
+    "iter_all_targets": "target",
+    "Session": "session",
+    "CacheStats": "session",
+    "PruningRequest": "pipeline",
+    "PruningReport": "pipeline",
+    "ComparisonReport": "pipeline",
+    "RequestError": "pipeline",
+    "STRATEGIES": "pipeline",
+}
+
+__all__ = [
+    "CacheStats",
+    "ComparisonReport",
+    "DEFAULT_TARGET_RUNS",
+    "PruningReport",
+    "PruningRequest",
+    "Registry",
+    "RegistryError",
+    "RequestError",
+    "STRATEGIES",
+    "Session",
+    "Target",
+    "TargetError",
+    "TargetLike",
+    "UnknownPluginError",
+    "default_targets",
+    "iter_all_targets",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

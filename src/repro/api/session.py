@@ -1,0 +1,319 @@
+"""The ``Session``: cross-call caching and the high-level pruning entry point.
+
+Every sweep in the experiment suite used to re-profile layers from
+scratch — twenty figures times dozens of (layer, channel count)
+configurations.  A :class:`Session` owns one
+:class:`~repro.profiling.runner.ProfileRunner` per
+:class:`~repro.api.target.Target` plus an LRU cache of latency tables
+and staircase analyses keyed by ``(target, layer spec, sweep)``, so the
+same layer profiled twice costs one measurement pass and one dictionary
+lookup.  Cache effectiveness is observable through
+:attr:`Session.cache_stats` (``hits``/``misses``/``evictions``).
+
+``Session`` is also the front door for pruning jobs: feed it a
+serializable :class:`~repro.api.pipeline.PruningRequest` and get a
+:class:`~repro.api.pipeline.PruningReport` back, byte-for-byte
+reproducing what the legacy :class:`~repro.core.perf_aware.PerformanceAwarePruner`
+would compute for the same parameters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from ..core.accuracy_model import AccuracyModel
+from ..core.criteria import CRITERIA, ImportanceCriterion
+from ..core.perf_aware import LayerProfile, PerformanceAwarePruner
+from ..core.staircase import StaircaseAnalysis, analyze_table
+from ..models.graph import Network
+from ..models.layers import ConvLayerSpec
+from ..models.zoo import MODELS
+from ..profiling.latency_table import LatencyTable, build_latency_table
+from ..profiling.runner import ProfileRunner
+from .pipeline import ComparisonReport, PruningReport, PruningRequest
+from .target import Target, TargetLike
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`Session` profile cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+_TargetKey = Tuple[str, str, int]
+_ProfileKey = Tuple[_TargetKey, ConvLayerSpec, Tuple[int, ...]]
+
+
+class Session:
+    """Shared profiling cache plus the request/report pruning pipeline.
+
+    Parameters
+    ----------
+    max_cache_entries:
+        Upper bound on cached layer profiles; the least recently used
+        profile is evicted beyond it.  ``None`` (the default) means
+        unbounded — a full model-zoo profile over the paper's four
+        targets fits comfortably in memory.
+    """
+
+    def __init__(self, max_cache_entries: Optional[int] = None) -> None:
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be None or >= 1, got {max_cache_entries}"
+            )
+        self.max_cache_entries = max_cache_entries
+        self._profiles: "OrderedDict[_ProfileKey, LayerProfile]" = OrderedDict()
+        self._runners: Dict[_TargetKey, ProfileRunner] = {}
+        self._pruners: Dict[Tuple[_TargetKey, str], PerformanceAwarePruner] = {}
+        self._networks: Dict[str, Network] = {}
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Cache bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Live hit/miss/eviction counters of the profile cache."""
+
+        return self._stats
+
+    def cache_size(self) -> int:
+        return len(self._profiles)
+
+    def clear_cache(self) -> None:
+        """Drop cached profiles, runners and pruners; reset the counters."""
+
+        self._profiles.clear()
+        self._runners.clear()
+        self._pruners.clear()
+        self._networks.clear()
+        self._stats.reset()
+
+    @staticmethod
+    def _target_key(target: Target) -> _TargetKey:
+        return (target.device, target.library, target.runs)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def runner(self, target: TargetLike) -> ProfileRunner:
+        """The session's shared (memoising) runner for a target."""
+
+        target = Target.of(target)
+        key = self._target_key(target)
+        if key not in self._runners:
+            self._runners[key] = ProfileRunner.for_target(target)
+        return self._runners[key]
+
+    def network(self, model: str) -> Network:
+        """Build (or reuse) a model-zoo network by name."""
+
+        name = MODELS.canonical(model)
+        if name not in self._networks:
+            self._networks[name] = MODELS.create(name)
+        return self._networks[name]
+
+    def pruner(
+        self,
+        target: TargetLike,
+        criterion: Union[str, ImportanceCriterion] = "sequential",
+        accuracy_model: Optional[AccuracyModel] = None,
+    ) -> PerformanceAwarePruner:
+        """A :class:`PerformanceAwarePruner` wired to this session's cache.
+
+        Pruners are memoised per (target, criterion name) so repeated
+        requests reuse their layer profiles; passing an explicit
+        ``accuracy_model`` or criterion *instance* builds a fresh,
+        uncached pruner (it may carry request-specific state).
+        """
+
+        target = Target.of(target)
+        shared_runner = self.runner(target)
+        if accuracy_model is not None or not isinstance(criterion, str):
+            criterion_obj = (
+                CRITERIA.create(criterion) if isinstance(criterion, str) else criterion
+            )
+            return PerformanceAwarePruner(
+                target, criterion=criterion_obj,
+                accuracy_model=accuracy_model, runner=shared_runner,
+            )
+        key = (self._target_key(target), CRITERIA.canonical(criterion))
+        if key not in self._pruners:
+            self._pruners[key] = PerformanceAwarePruner(
+                target, criterion=CRITERIA.create(criterion), runner=shared_runner
+            )
+        return self._pruners[key]
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sweep_counts(
+        spec: ConvLayerSpec,
+        channel_counts: Optional[Iterable[int]],
+        sweep_step: int,
+    ) -> Tuple[int, ...]:
+        if channel_counts is not None:
+            counts = set(int(count) for count in channel_counts)
+        else:
+            counts = set(range(1, spec.out_channels + 1, sweep_step))
+        counts.add(spec.out_channels)
+        return tuple(sorted(counts))
+
+    def profile_layer(
+        self,
+        target: TargetLike,
+        spec: ConvLayerSpec,
+        layer_index: int = -1,
+        channel_counts: Optional[Iterable[int]] = None,
+        sweep_step: int = 1,
+    ) -> LayerProfile:
+        """Latency table + staircase analysis of one layer on one target.
+
+        The result is cached on ``(target, layer spec, sweep)``;
+        profiling the same layer twice for the same target is one miss
+        followed by hits.
+        """
+
+        target = Target.of(target)
+        counts = self._sweep_counts(spec, channel_counts, sweep_step)
+        key: _ProfileKey = (self._target_key(target), spec, counts)
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self._stats.hits += 1
+            self._profiles.move_to_end(key)
+            return cached
+
+        self._stats.misses += 1
+        table = build_latency_table(self.runner(target), spec, counts)
+        profile = LayerProfile(
+            layer_index=layer_index,
+            spec=spec,
+            table=table,
+            analysis=analyze_table(table),
+        )
+        self._profiles[key] = profile
+        if self.max_cache_entries is not None and len(self._profiles) > self.max_cache_entries:
+            self._profiles.popitem(last=False)
+            self._stats.evictions += 1
+        return profile
+
+    def latency_table(
+        self,
+        target: TargetLike,
+        spec: ConvLayerSpec,
+        channel_counts: Optional[Iterable[int]] = None,
+        sweep_step: int = 1,
+    ) -> LatencyTable:
+        """Cached latency-vs-channels table of a layer on a target."""
+
+        return self.profile_layer(
+            target, spec, channel_counts=channel_counts, sweep_step=sweep_step
+        ).table
+
+    def staircase(
+        self,
+        target: TargetLike,
+        spec: ConvLayerSpec,
+        channel_counts: Optional[Iterable[int]] = None,
+        sweep_step: int = 1,
+    ) -> StaircaseAnalysis:
+        """Cached staircase analysis of a layer on a target."""
+
+        return self.profile_layer(
+            target, spec, channel_counts=channel_counts, sweep_step=sweep_step
+        ).analysis
+
+    def profile_network(
+        self,
+        target: TargetLike,
+        model: Union[str, Network],
+        layer_indices: Optional[Sequence[int]] = None,
+        sweep_step: int = 1,
+    ) -> Dict[int, LayerProfile]:
+        """Profile every (selected) convolutional layer of a network."""
+
+        network = self.network(model) if isinstance(model, str) else model
+        indices = (
+            list(layer_indices) if layer_indices is not None else network.conv_layer_indices
+        )
+        return {
+            index: self.profile_layer(
+                target,
+                network.conv_layer(index).spec,
+                layer_index=index,
+                sweep_step=sweep_step,
+            )
+            for index in indices
+        }
+
+    # ------------------------------------------------------------------
+    # The request/report pipeline
+    # ------------------------------------------------------------------
+    def prune(self, request: PruningRequest) -> PruningReport:
+        """Execute one pruning job and report the outcome.
+
+        Matches the legacy :class:`PerformanceAwarePruner` output for
+        the same (model, device, library, strategy, parameters).
+        """
+
+        pruner = self.pruner(request.target, criterion=request.criterion)
+        network = self.network(request.model)
+        indices = list(request.layer_indices) if request.layer_indices is not None else None
+        if request.strategy == "performance-aware":
+            outcome = pruner.prune_performance_aware_fraction(
+                network, request.fraction, indices, sweep_step=request.sweep_step
+            )
+        elif request.strategy == "uninstructed":
+            outcome = pruner.prune_uninstructed(network, request.fraction, indices)
+        elif request.strategy == "latency-budget":
+            outcome = pruner.prune_for_latency(
+                network, request.latency_budget_ms, indices, sweep_step=request.sweep_step
+            )
+        else:  # pragma: no cover - PruningRequest validates strategies
+            raise ValueError(f"unknown strategy {request.strategy!r}")
+        return PruningReport.from_outcome(request, outcome)
+
+    def compare(
+        self,
+        request: PruningRequest,
+        strategies: Sequence[str] = ("performance-aware", "uninstructed"),
+    ) -> ComparisonReport:
+        """Run the same job under several strategies, head to head."""
+
+        if not strategies:
+            raise ValueError("strategies must not be empty")
+        reports = {
+            strategy: self.prune(request.with_strategy(strategy))
+            for strategy in strategies
+        }
+        return ComparisonReport(request=request, reports=reports)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self._stats
+        return (
+            f"<Session profiles={len(self._profiles)} runners={len(self._runners)} "
+            f"hits={stats.hits} misses={stats.misses} evictions={stats.evictions}>"
+        )
+
+
+__all__ = ["CacheStats", "Session"]

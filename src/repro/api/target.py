@@ -1,0 +1,173 @@
+"""The ``Target`` value object: one (device, library) deployment pair.
+
+The paper's central argument is that pruning decisions are only
+meaningful *per target* — the same network pruned for ACL GEMM on a
+HiKey 970 is the wrong network for cuDNN on a Jetson TX2.  Historically
+the code base passed that pair around as two loose strings; ``Target``
+makes it a validated, hashable value that can key caches
+(:class:`repro.api.Session`), travel inside serialized
+:class:`repro.api.PruningRequest` jobs and resolve itself against the
+unified registries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+from ..gpusim.device import DEVICES, DeviceSpec
+from ..libraries.base import LIBRARIES, ConvolutionLibrary
+
+#: Default number of repeated measurements per configuration; matches the
+#: legacy ``PerformanceAwarePruner`` default so ``Session`` reproduces it.
+DEFAULT_TARGET_RUNS = 3
+
+#: Anything :meth:`Target.of` accepts.
+TargetLike = Union["Target", Tuple[str, str], Tuple[str, str, int], Mapping[str, Any], str]
+
+
+class TargetError(ValueError):
+    """Raised when a target is structurally invalid (bad names, API mismatch)."""
+
+
+@dataclass(frozen=True)
+class Target:
+    """A validated (device, library) pair plus the measurement protocol.
+
+    Device and library names are canonicalised against
+    :data:`repro.gpusim.device.DEVICES` and
+    :data:`repro.libraries.base.LIBRARIES` at construction, so two
+    targets built from aliases (``Target("tx2", "cudnn7")`` and
+    ``Target("jetson-tx2", "cudnn")``) compare and hash equal.  A pair
+    whose programming APIs cannot meet (an OpenCL library on a CUDA
+    board) is rejected immediately rather than at plan time.
+    """
+
+    device: str
+    library: str
+    runs: int = DEFAULT_TARGET_RUNS
+
+    def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "device", DEVICES.canonical(self.device))
+            object.__setattr__(self, "library", LIBRARIES.canonical(self.library))
+        except KeyError as error:
+            # Re-raise with the registry's message; TargetError keeps the
+            # "invalid target" contract a single except clause wide.
+            raise TargetError(str(error.args[0] if error.args else error)) from error
+        if not isinstance(self.runs, int) or isinstance(self.runs, bool) or self.runs < 1:
+            raise TargetError(f"runs must be a positive integer, got {self.runs!r}")
+        device_api = DEVICES.get(self.device).api
+        library_api = LIBRARIES.get(self.library).api
+        if device_api != library_api:
+            raise TargetError(
+                f"library {self.library!r} targets {library_api} devices, but "
+                f"{self.device!r} is a {device_api} device"
+            )
+
+    # ------------------------------------------------------------------
+    # Resolution against the registries
+    # ------------------------------------------------------------------
+    @property
+    def device_spec(self) -> DeviceSpec:
+        """The :class:`DeviceSpec` preset this target runs on."""
+
+        return DEVICES.get(self.device)
+
+    def create_library(self) -> ConvolutionLibrary:
+        """Instantiate a fresh library planner for this target."""
+
+        return LIBRARIES.create(self.library)
+
+    @property
+    def label(self) -> str:
+        """Compact ``library@device`` identifier used in reports."""
+
+        return f"{self.library}@{self.device}"
+
+    # ------------------------------------------------------------------
+    # Construction helpers and serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, value: TargetLike, runs: int | None = None) -> "Target":
+        """Coerce a target-like value into a :class:`Target`.
+
+        Accepts an existing :class:`Target`, a ``(device, library)`` or
+        ``(device, library, runs)`` sequence, a mapping produced by
+        :meth:`to_dict`, or a ``"library@device"`` label.  ``runs``
+        overrides the measurement count when given.
+        """
+
+        if isinstance(value, Target):
+            if runs is not None and runs != value.runs:
+                return cls(value.device, value.library, runs)
+            return value
+        if isinstance(value, str):
+            if "@" not in value:
+                raise TargetError(
+                    f"expected a 'library@device' label, got {value!r}"
+                )
+            library, _, device = value.partition("@")
+            return cls(device, library, runs if runs is not None else DEFAULT_TARGET_RUNS)
+        if isinstance(value, Mapping):
+            target = cls.from_dict(value)
+            return cls.of(target, runs)
+        if isinstance(value, Sequence) and 2 <= len(value) <= 3:
+            device, library = value[0], value[1]
+            target_runs = value[2] if len(value) == 3 else DEFAULT_TARGET_RUNS
+            if runs is not None:
+                target_runs = runs
+            return cls(device, library, target_runs)
+        raise TargetError(f"cannot interpret {value!r} as a Target")
+
+    def with_runs(self, runs: int) -> "Target":
+        """The same (device, library) pair with a different run count."""
+
+        return Target(self.device, self.library, runs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"device": self.device, "library": self.library, "runs": self.runs}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Target":
+        try:
+            device = payload["device"]
+            library = payload["library"]
+        except KeyError as error:
+            raise TargetError(f"target payload missing key {error.args[0]!r}") from error
+        return cls(device, library, payload.get("runs", DEFAULT_TARGET_RUNS))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def default_targets(runs: int = DEFAULT_TARGET_RUNS) -> Tuple[Target, ...]:
+    """The paper's four evaluation targets as :class:`Target` objects."""
+
+    return (
+        Target("hikey-970", "acl-gemm", runs),
+        Target("hikey-970", "acl-direct", runs),
+        Target("hikey-970", "tvm", runs),
+        Target("jetson-tx2", "cudnn", runs),
+    )
+
+
+def iter_all_targets(runs: int = DEFAULT_TARGET_RUNS):
+    """Every API-compatible (device, library) pair in the registries."""
+
+    for device in DEVICES.available():
+        for library in LIBRARIES.available():
+            try:
+                yield Target(device, library, runs)
+            except TargetError:
+                continue
+
+
+__all__ = [
+    "DEFAULT_TARGET_RUNS",
+    "Target",
+    "TargetError",
+    "TargetLike",
+    "default_targets",
+    "iter_all_targets",
+]

@@ -1,4 +1,11 @@
-"""Core contribution: performance-aware channel pruning."""
+"""Core contribution: performance-aware channel pruning.
+
+Importance criteria live in the unified :data:`CRITERIA` registry;
+prefer ``CRITERIA.create(name)`` over the deprecated
+:func:`get_criterion`.  For the high-level pruning workflow, start at
+:mod:`repro.api` (``Session.prune`` wraps
+:class:`PerformanceAwarePruner`).
+"""
 
 from .accuracy_model import DEFAULT_BASELINES, AccuracyModel, default_accuracy_model
 from .design import (
@@ -10,12 +17,14 @@ from .design import (
     recommend_channel_counts,
 )
 from .criteria import (
+    CRITERIA,
     CriterionError,
     ImportanceCriterion,
     L1NormCriterion,
     L2NormCriterion,
     RandomCriterion,
     SequentialCriterion,
+    UnknownCriterionError,
     available_criteria,
     get_criterion,
 )
@@ -40,7 +49,9 @@ from .staircase import (
 )
 
 __all__ = [
+    "CRITERIA",
     "AccuracyModel",
+    "UnknownCriterionError",
     "Candidate",
     "ChannelPruner",
     "ChannelRecommendation",

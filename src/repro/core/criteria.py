@@ -15,16 +15,26 @@ returns the indices to *keep* for a requested count.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Type
+from typing import List, Optional, Type
 
 import numpy as np
 
+from ..api.registry import Registry, UnknownPluginError, warn_deprecated
 from ..models.layers import ConvLayerSpec
 from ..nn.tensor import conv_weights, seed_from_name
 
 
 class CriterionError(ValueError):
     """Raised for invalid keep-counts or unknown criterion names."""
+
+
+class UnknownCriterionError(CriterionError, UnknownPluginError):
+    """Raised when a criterion name is not registered.
+
+    Subclasses both :class:`CriterionError` (the historical type raised
+    for unknown names) and the shared
+    :class:`~repro.api.registry.UnknownPluginError`.
+    """
 
 
 class ImportanceCriterion(abc.ABC):
@@ -119,24 +129,30 @@ class RandomCriterion(ImportanceCriterion):
         return rng.random(spec.out_channels)
 
 
-_CRITERIA: Dict[str, Type[ImportanceCriterion]] = {
-    criterion.name: criterion
-    for criterion in (SequentialCriterion, L1NormCriterion, L2NormCriterion, RandomCriterion)
-}
+#: The unified criterion registry (see :mod:`repro.api.registry`);
+#: entries are :class:`ImportanceCriterion` subclasses, instantiated per
+#: lookup via ``CRITERIA.create(name)``.
+CRITERIA: Registry[Type[ImportanceCriterion]] = Registry(
+    "criterion", error_cls=UnknownCriterionError
+)
+
+for _criterion in (SequentialCriterion, L1NormCriterion, L2NormCriterion, RandomCriterion):
+    CRITERIA.register(_criterion)
+del _criterion
 
 
 def available_criteria() -> List[str]:
     """Names of the registered importance criteria, sorted."""
 
-    return sorted(_CRITERIA)
+    return CRITERIA.available()
 
 
 def get_criterion(name: str) -> ImportanceCriterion:
-    """Instantiate a criterion by name."""
+    """Instantiate a criterion by name.
 
-    key = name.strip().lower()
-    if key not in _CRITERIA:
-        raise CriterionError(
-            f"unknown criterion {name!r}; available: {available_criteria()}"
-        )
-    return _CRITERIA[key]()
+    .. deprecated::
+        Use ``CRITERIA.create(name)`` instead.
+    """
+
+    warn_deprecated("repro.core.get_criterion", "repro.core.criteria.CRITERIA.create")
+    return CRITERIA.create(name)

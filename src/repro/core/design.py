@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..gpusim.device import DeviceSpec, get_device
-from ..libraries.base import ConvolutionLibrary, get_library
+from ..gpusim.device import DEVICES, DeviceSpec
+from ..libraries.base import LIBRARIES, ConvolutionLibrary
 from ..models.layers import ConvLayerSpec
 from ..profiling.latency_table import build_latency_table
 from ..profiling.runner import ProfileRunner
@@ -66,17 +66,27 @@ class LibraryRanking:
 
 
 def _resolve_target(
-    device: DeviceSpec | str, library: ConvolutionLibrary | str, runs: int
+    device: "DeviceSpec | str", library: "ConvolutionLibrary | str | None", runs: int
 ) -> ProfileRunner:
-    device_spec = get_device(device) if isinstance(device, str) else device
-    library_model = get_library(library) if isinstance(library, str) else library
+    """Build a runner from a Target, or from legacy device/library values."""
+
+    from ..api.target import Target  # local import: api sits above core
+
+    if isinstance(device, Target):
+        if library is not None:
+            raise TypeError("pass either a Target or a (device, library) pair, not both")
+        return ProfileRunner.for_target(device)
+    if library is None:
+        raise TypeError("a Target or a (device, library) pair is required")
+    device_spec = DEVICES.get(device) if isinstance(device, str) else device
+    library_model = LIBRARIES.create(library) if isinstance(library, str) else library
     return ProfileRunner(device=device_spec, library=library_model, runs=runs)
 
 
 def recommend_channel_counts(
     layer_template: ConvLayerSpec,
     device: DeviceSpec | str,
-    library: ConvolutionLibrary | str,
+    library: ConvolutionLibrary | str | None = None,
     max_channels: Optional[int] = None,
     top_k: int = 5,
     runs: int = 3,
@@ -88,6 +98,12 @@ def recommend_channel_counts(
     to ``max_channels`` (default: the template's own count), keeps only
     plateau right-edges (adding channels beyond them is free until the
     next step) and ranks them by channels per millisecond.
+
+    The target may be a single :class:`repro.api.Target` passed as
+    ``device`` (leaving ``library`` unset) or the legacy pair of values.
+    A :class:`Target` carries its own measurement protocol, so its
+    ``runs`` wins over the ``runs`` parameter; the parameter applies to
+    name/spec pairs.
     """
 
     if top_k < 1:
@@ -127,11 +143,26 @@ def best_library_for_layer(
     if not targets:
         raise ValueError("targets must not be empty")
     entries = []
-    for device_name, library_name in targets:
-        runner = _resolve_target(device_name, library_name, runs)
+    for target in targets:
+        runner = _resolve_runner_for(target, runs)
         measurement = runner.measure(layer)
         entries.append((runner.device.name, runner.library.name, measurement.median_time_ms))
     return LibraryRanking(layer_name=layer.name, entries=tuple(entries))
+
+
+def _resolve_runner_for(target, runs: int) -> ProfileRunner:
+    """Accept a Target or a (device, library) pair from a targets sequence.
+
+    A :class:`Target` carries its own measurement protocol, so its
+    ``runs`` wins; the ``runs`` parameter applies to bare name pairs.
+    """
+
+    from ..api.target import Target
+
+    if isinstance(target, Target):
+        return ProfileRunner.for_target(target)
+    device_name, library_name = target
+    return _resolve_target(device_name, library_name, runs)
 
 
 @dataclass
@@ -151,15 +182,24 @@ class DesignSpaceExplorer:
         max_channels: Optional[int] = None,
         top_k: int = 3,
     ) -> Dict[Tuple[str, str], List[ChannelRecommendation]]:
-        """Top channel-count recommendations per target."""
+        """Top channel-count recommendations per target.
 
-        return {
-            (device, library): recommend_channel_counts(
-                layer_template, device, library,
+        ``targets`` entries may be ``(device, library)`` pairs (measured
+        with the explorer's ``runs``) or :class:`repro.api.Target`
+        objects (measured with their own ``runs``); keys of the returned
+        mapping are always canonical ``(device, library)`` name pairs.
+        """
+
+        from ..api.target import Target
+
+        exploration: Dict[Tuple[str, str], List[ChannelRecommendation]] = {}
+        for entry in self.targets:
+            target = entry if isinstance(entry, Target) else Target.of(tuple(entry), runs=self.runs)
+            exploration[(target.device, target.library)] = recommend_channel_counts(
+                layer_template, target,
                 max_channels=max_channels, top_k=top_k, runs=self.runs,
             )
-            for device, library in self.targets
-        }
+        return exploration
 
     def sweet_spots_differ(
         self, layer_template: ConvLayerSpec, max_channels: Optional[int] = None

@@ -20,10 +20,10 @@ fraction with no knowledge of the target — whose potential slowdowns
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..gpusim.device import DeviceSpec, get_device
-from ..libraries.base import ConvolutionLibrary, get_library
+from ..gpusim.device import DEVICES, DeviceSpec
+from ..libraries.base import LIBRARIES, ConvolutionLibrary
 from ..models.graph import Network
 from ..models.layers import ConvLayerSpec
 from ..profiling.latency_table import LatencyTable, build_latency_table
@@ -32,6 +32,9 @@ from .accuracy_model import AccuracyModel, default_accuracy_model
 from .criteria import ImportanceCriterion, SequentialCriterion
 from .pruner import ChannelPruner, PruningPlan
 from .staircase import StaircaseAnalysis, analyze_table, optimal_pruning_levels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.target import Target
 
 
 class OptimizationError(ValueError):
@@ -99,23 +102,62 @@ class StrategyComparison:
 
 
 class PerformanceAwarePruner:
-    """Profile-in-the-loop channel pruning for one (device, library) target."""
+    """Profile-in-the-loop channel pruning for one (device, library) target.
+
+    The target can be given either as a single :class:`repro.api.Target`
+    (the canonical form) or as the legacy (device, library) pair of
+    names/objects::
+
+        PerformanceAwarePruner(Target("hikey-970", "acl-gemm", runs=5))
+        PerformanceAwarePruner("hikey-970", "acl-gemm", runs=5)   # legacy
+
+    ``runner`` lets a :class:`repro.api.Session` share one memoising
+    :class:`ProfileRunner` across pruners and experiments.
+    """
 
     def __init__(
         self,
-        device: DeviceSpec | str,
-        library: ConvolutionLibrary | str,
+        device: "Union[Target, DeviceSpec, str, None]" = None,
+        library: Optional[ConvolutionLibrary | str] = None,
         criterion: Optional[ImportanceCriterion] = None,
         accuracy_model: Optional[AccuracyModel] = None,
-        runs: int = 3,
+        runs: Optional[int] = None,
+        *,
+        runner: Optional[ProfileRunner] = None,
     ) -> None:
-        self.device = get_device(device) if isinstance(device, str) else device
-        self.library = get_library(library) if isinstance(library, str) else library
+        from ..api.target import Target  # local import: api sits above core
+
+        if isinstance(device, Target):
+            if library is not None:
+                raise TypeError(
+                    "pass either a Target or a (device, library) pair, not both"
+                )
+            target = device if runs is None else device.with_runs(runs)
+            self.target: Optional[Target] = target
+            self.device = target.device_spec
+            self.library = target.create_library()
+            runs = target.runs
+        else:
+            if device is None or library is None:
+                raise TypeError("a Target or a (device, library) pair is required")
+            self.device = DEVICES.get(device) if isinstance(device, str) else device
+            self.library = (
+                LIBRARIES.create(library) if isinstance(library, str) else library
+            )
+            runs = 3 if runs is None else runs
+            try:
+                self.target = Target(self.device.name, self.library.name, runs)
+            except ValueError:
+                # Mismatched (device, library) APIs never made it past
+                # planning before; keep that legacy failure mode.
+                self.target = None
         self.criterion = criterion or SequentialCriterion()
         self.accuracy_model = accuracy_model
-        self.runner = ProfileRunner(device=self.device, library=self.library, runs=runs)
+        self.runner = runner or ProfileRunner(
+            device=self.device, library=self.library, runs=runs
+        )
         self.pruner = ChannelPruner(self.criterion)
-        self._profiles: Dict[Tuple[str, int], LayerProfile] = {}
+        self._profiles: Dict[Tuple[str, int, int], LayerProfile] = {}
 
     # ------------------------------------------------------------------
     # Profiling
@@ -129,7 +171,7 @@ class PerformanceAwarePruner:
     ) -> LayerProfile:
         """Measure a layer across channel counts and analyse its staircase."""
 
-        key = (spec.name, spec.out_channels)
+        key = (spec.name, spec.out_channels, sweep_step)
         if key in self._profiles and channel_counts is None:
             return self._profiles[key]
         counts = (
@@ -202,7 +244,9 @@ class PerformanceAwarePruner:
                 f"{spec.name}: target {target_channels} outside [1, {spec.out_channels}]"
             )
         profile = self.profile_layer(spec, sweep_step=sweep_step)
-        target_time = profile.time_at(target_channels)
+        # A coarse sweep may not include the naive target itself; measure
+        # it directly (the runner memoises) instead of a table lookup.
+        target_time = self.runner.measure(spec, target_channels).median_time_ms
         candidates = [
             count
             for count in profile.optimal_channel_counts

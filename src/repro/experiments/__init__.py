@@ -1,7 +1,13 @@
-"""Experiment generators: one per paper figure/table, plus proposal studies."""
+"""Experiment generators: one per paper figure/table, plus proposal studies.
 
-from .base import ExperimentResult
+Generators live in the unified :data:`EXPERIMENTS` registry; they share
+one :class:`repro.api.Session` (see :func:`repro.experiments.base.default_session`)
+so repeated runs reuse layer measurements.
+"""
+
+from .base import ExperimentResult, default_session
 from .registry import (
+    EXPERIMENTS,
     UnknownExperimentError,
     available_experiments,
     get_experiment,
@@ -9,9 +15,11 @@ from .registry import (
 )
 
 __all__ = [
+    "EXPERIMENTS",
     "ExperimentResult",
     "UnknownExperimentError",
     "available_experiments",
+    "default_session",
     "get_experiment",
     "run_experiment",
 ]

@@ -14,10 +14,10 @@ from typing import Any, Callable, Dict, Optional
 
 from ..analysis.curves import LatencyCurve, latency_curve
 from ..analysis.speedup import SpeedupMatrix, speedup_matrix
-from ..gpusim.device import get_device
-from ..libraries.base import get_library
+from ..api.session import Session
+from ..api.target import Target
 from ..models.graph import ConvLayerRef
-from ..models.zoo import build_model, profiled_layer_refs
+from ..models.zoo import profiled_layer_refs
 from ..profiling.runner import ProfileRunner
 
 
@@ -46,16 +46,27 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def make_runner(device: str, library: str, runs: int = 5) -> ProfileRunner:
-    """Profile runner for a (device, library) pair by name."""
+#: One session shared by every experiment generator: sweeps over twenty
+#: figures reuse layer measurements instead of re-profiling per figure.
+_SESSION = Session()
 
-    return ProfileRunner(device=get_device(device), library=get_library(library), runs=runs)
+
+def default_session() -> Session:
+    """The session shared by all experiment generators."""
+
+    return _SESSION
+
+
+def make_runner(device: str, library: str, runs: int = 5) -> ProfileRunner:
+    """Shared (memoising) profile runner for a (device, library) pair."""
+
+    return _SESSION.runner(Target(device, library, runs=runs))
 
 
 def resnet_layer(index: int) -> ConvLayerRef:
     """A profiled ResNet-50 layer reference by paper index."""
 
-    return build_model("resnet50").conv_layer(index)
+    return _SESSION.network("resnet50").conv_layer(index)
 
 
 def heatmap_experiment(
@@ -117,7 +128,7 @@ def sweep_experiment(
 ) -> ExperimentResult:
     """Build a latency-vs-channels sweep experiment (the line figures)."""
 
-    ref = build_model(model).conv_layer(layer_index)
+    ref = _SESSION.network(model).conv_layer(layer_index)
     runner = make_runner(device, library, runs=runs)
     counts = list(range(min_channels, ref.spec.out_channels + 1, step))
     counts.extend(extra_channels)
@@ -155,6 +166,7 @@ __all__ = [
     "ExperimentResult",
     "LatencyCurve",
     "SpeedupMatrix",
+    "default_session",
     "heatmap_experiment",
     "make_runner",
     "resnet_layer",

@@ -3,9 +3,14 @@
 Usage::
 
     python -m repro.experiments list
+    python -m repro.experiments targets
     python -m repro.experiments fig14
     python -m repro.experiments table1 table5 --json out.json
     python -m repro.experiments all --fast
+
+Experiments run through the shared :class:`repro.api.Session`
+(:func:`repro.experiments.base.default_session`), so a multi-experiment
+invocation profiles each layer configuration once.
 """
 
 from __future__ import annotations
@@ -15,6 +20,9 @@ import json
 import sys
 from typing import Iterable, List
 
+from ..api.target import TargetError, Target
+from ..gpusim.device import DEVICES
+from ..libraries.base import LIBRARIES
 from .base import ExperimentResult
 from .registry import available_experiments, run_experiment
 
@@ -35,7 +43,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment identifiers (e.g. fig14 table1), 'all', or 'list'",
+        help="experiment identifiers (e.g. fig14 table1), 'all', 'list', or 'targets'",
     )
     parser.add_argument(
         "--fast",
@@ -73,6 +81,19 @@ def _kwargs_for(experiment_id: str, fast: bool) -> dict:
     return {}
 
 
+def print_targets() -> None:
+    """List every registered device x library pair and its compatibility."""
+
+    for device in DEVICES.available():
+        for library in LIBRARIES.available():
+            try:
+                target = Target(device, library)
+            except TargetError:
+                print(f"{device:<12} {library:<12} incompatible (api mismatch)")
+            else:
+                print(f"{device:<12} {library:<12} ok ({target.device_spec.api})")
+
+
 def run_many(experiment_ids: Iterable[str], fast: bool = False) -> List[ExperimentResult]:
     """Run several experiments and return their results."""
 
@@ -89,6 +110,10 @@ def main(argv: List[str] | None = None) -> int:
     if len(args.experiments) == 1 and args.experiments[0].lower() == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
+        return 0
+
+    if len(args.experiments) == 1 and args.experiments[0].lower() == "targets":
+        print_targets()
         return 0
 
     experiment_ids = _expand(args.experiments)

@@ -20,8 +20,8 @@ from ..analysis.speedup import (
 from ..core.staircase import analyze_table, cluster_levels
 from ..gpusim.metrics import relative_system_counters
 from ..gpusim.simulator import GpuSimulator
-from ..gpusim.device import get_device
-from ..libraries.base import get_library
+from ..gpusim.device import DEVICES
+from ..libraries.base import LIBRARIES
 from ..profiling.latency_table import LatencyTable
 from .base import ExperimentResult, heatmap_experiment, resnet_layer, sweep_experiment
 
@@ -421,8 +421,8 @@ def fig18(runs: int = 5) -> ExperimentResult:
     """Figure 18: relative system-level counters for 92/93/96/97 channels."""
 
     ref = resnet_layer(16)
-    device = get_device("hikey-970")
-    library = get_library("acl-gemm")
+    device = DEVICES.get("hikey-970")
+    library = LIBRARIES.create("acl-gemm")
     simulator = GpuSimulator(device)
     results = {}
     for channels in (92, 93, 96, 97):

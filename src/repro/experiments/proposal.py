@@ -22,14 +22,14 @@ import dataclasses
 from typing import Dict, List
 
 from ..core.accuracy_model import default_accuracy_model
-from ..core.criteria import available_criteria, get_criterion
+from ..core.criteria import CRITERIA, available_criteria
 from ..core.perf_aware import PerformanceAwarePruner
 from ..core.pruner import ChannelPruner
 from ..core.search import PruningSearch
-from ..gpusim.device import get_device
+from ..gpusim.device import DEVICES
 from ..gpusim.simulator import GpuSimulator
-from ..libraries.base import get_library
-from ..models.zoo import build_model
+from ..libraries.base import LIBRARIES
+from ..models.zoo import MODELS
 from ..nn.inference import InferenceEngine
 from ..nn.tensor import conv_input, conv_weights
 from .base import ExperimentResult, resnet_layer
@@ -54,7 +54,7 @@ def proposal_comparison(fraction: float = 0.12, runs: int = 3) -> ExperimentResu
     the initial size is in some cases detrimental to performance").
     """
 
-    network = build_model("resnet50")
+    network = MODELS.create("resnet50")
     rows = []
     measured: Dict[str, float] = {}
     for device_name, library_name in PROPOSAL_TARGETS:
@@ -116,7 +116,7 @@ def proposal_comparison(fraction: float = 0.12, runs: int = 3) -> ExperimentResu
 def proposal_pareto(runs: int = 3) -> ExperimentResult:
     """Latency/accuracy Pareto frontier over step-optimal configurations."""
 
-    network = build_model("resnet50")
+    network = MODELS.create("resnet50")
     layer_indices = [15, 16]
     pruner = PerformanceAwarePruner("hikey-970", "acl-gemm", runs=runs)
     search = PruningSearch(
@@ -167,8 +167,8 @@ def ablation_criteria(runs: int = 3) -> ExperimentResult:
     """Latency is independent of which channels are pruned (criterion ablation)."""
 
     ref = resnet_layer(16)
-    device = get_device("hikey-970")
-    library = get_library("acl-gemm")
+    device = DEVICES.get("hikey-970")
+    library = LIBRARIES.create("acl-gemm")
     simulator = GpuSimulator(device)
     engine = InferenceEngine(method="gemm")
     inputs = conv_input(ref.spec.with_in_channels(8).with_out_channels(16), batch=1)
@@ -177,7 +177,7 @@ def ablation_criteria(runs: int = 3) -> ExperimentResult:
     rows = []
     times = []
     for name in available_criteria():
-        criterion = get_criterion(name)
+        criterion = CRITERIA.create(name)
         pruner = ChannelPruner(criterion)
         pruned_spec = pruner.prune_layer_spec(ref.spec, keep)
         plan = library.plan(pruned_spec, device)
@@ -228,8 +228,8 @@ def ablation_dispatch_overhead(runs: int = 3) -> ExperimentResult:
     """The parallel-staircase gap scales with the job-dispatch overhead."""
 
     ref = resnet_layer(16)
-    library = get_library("acl-gemm")
-    base_device = get_device("hikey-970")
+    library = LIBRARIES.create("acl-gemm")
+    base_device = DEVICES.get("hikey-970")
     scales = (0.0, 0.5, 1.0, 2.0, 4.0)
     rows: List[Dict[str, float]] = []
     for scale in scales:

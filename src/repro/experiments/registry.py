@@ -1,72 +1,68 @@
-"""Registry mapping experiment identifiers to their generator functions."""
+"""Registry mapping experiment identifiers to their generator functions.
+
+Experiments live in the unified :data:`EXPERIMENTS` registry (see
+:mod:`repro.api.registry`), preserving the paper's figure/table order
+rather than sorting alphabetically.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
+from ..api.registry import Registry, UnknownPluginError, warn_deprecated
 from . import figures, proposal, tables
 from .base import ExperimentResult
 
 ExperimentFn = Callable[..., ExperimentResult]
 
-_EXPERIMENTS: Dict[str, ExperimentFn] = {
-    # Paper figures.
-    "fig01": figures.fig01,
-    "fig02": figures.fig02,
-    "fig03": figures.fig03,
-    "fig04": figures.fig04,
-    "fig05": figures.fig05,
-    "fig06": figures.fig06,
-    "fig07": figures.fig07,
-    "fig08": figures.fig08,
-    "fig09": figures.fig09,
-    "fig10": figures.fig10,
-    "fig11": figures.fig11,
-    "fig12": figures.fig12,
-    "fig13": figures.fig13,
-    "fig14": figures.fig14,
-    "fig15": figures.fig15,
-    "fig16": figures.fig16,
-    "fig17": figures.fig17,
-    "fig18": figures.fig18,
-    "fig19": figures.fig19,
-    "fig20": figures.fig20,
-    # Paper tables.
-    "table1": tables.table1,
-    "table2": tables.table2,
-    "table3": tables.table3,
-    "table4": tables.table4,
-    "table5": tables.table5,
-    # Section V proposal and ablations.
-    "proposal_comparison": proposal.proposal_comparison,
-    "proposal_pareto": proposal.proposal_pareto,
-    "ablation_criteria": proposal.ablation_criteria,
-    "ablation_dispatch_overhead": proposal.ablation_dispatch_overhead,
-}
 
-
-class UnknownExperimentError(KeyError):
+class UnknownExperimentError(UnknownPluginError):
     """Raised when an experiment identifier is not registered."""
+
+
+#: The unified experiment registry, in the paper's presentation order.
+EXPERIMENTS: Registry[ExperimentFn] = Registry(
+    "experiment", error_cls=UnknownExperimentError, sort_names=False
+)
+
+for _fn in (
+    # Paper figures.
+    figures.fig01, figures.fig02, figures.fig03, figures.fig04, figures.fig05,
+    figures.fig06, figures.fig07, figures.fig08, figures.fig09, figures.fig10,
+    figures.fig11, figures.fig12, figures.fig13, figures.fig14, figures.fig15,
+    figures.fig16, figures.fig17, figures.fig18, figures.fig19, figures.fig20,
+    # Paper tables.
+    tables.table1, tables.table2, tables.table3, tables.table4, tables.table5,
+    # Section V proposal and ablations.
+    proposal.proposal_comparison,
+    proposal.proposal_pareto,
+    proposal.ablation_criteria,
+    proposal.ablation_dispatch_overhead,
+):
+    EXPERIMENTS.register(_fn)
+del _fn
 
 
 def available_experiments() -> List[str]:
     """All registered experiment identifiers, in a stable order."""
 
-    return list(_EXPERIMENTS)
+    return EXPERIMENTS.available()
 
 
 def get_experiment(experiment_id: str) -> ExperimentFn:
-    """Look up an experiment generator by identifier."""
+    """Look up an experiment generator by identifier.
 
-    key = experiment_id.strip().lower()
-    if key not in _EXPERIMENTS:
-        raise UnknownExperimentError(
-            f"unknown experiment {experiment_id!r}; available: {available_experiments()}"
-        )
-    return _EXPERIMENTS[key]
+    .. deprecated::
+        Use ``EXPERIMENTS.get(experiment_id)`` instead.
+    """
+
+    warn_deprecated(
+        "repro.experiments.get_experiment", "repro.experiments.registry.EXPERIMENTS.get"
+    )
+    return EXPERIMENTS.get(experiment_id)
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one experiment by identifier."""
 
-    return get_experiment(experiment_id)(**kwargs)
+    return EXPERIMENTS.get(experiment_id)(**kwargs)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..gpusim.device import get_device
+from ..gpusim.device import DEVICES
 from ..gpusim.kernel import KernelPlan
 from ..gpusim.metrics import (
     WorkgroupRow,
@@ -23,7 +23,7 @@ from ..gpusim.metrics import (
     kernel_instruction_table,
 )
 from ..gpusim.simulator import GpuSimulator
-from ..libraries.base import get_library
+from ..libraries.base import LIBRARIES
 from .base import ExperimentResult, resnet_layer
 
 #: The values printed in the paper's Tables I-IV, keyed by channel count.
@@ -70,8 +70,8 @@ def plan_for_channels(channels: int) -> KernelPlan:
     """ACL GEMM kernel plan for ResNet-50 layer 16 at a channel count."""
 
     ref = resnet_layer(16)
-    device = get_device("hikey-970")
-    library = get_library("acl-gemm")
+    device = DEVICES.get("hikey-970")
+    library = LIBRARIES.create("acl-gemm")
     return library.plan_with_channels(ref.spec, channels, device)
 
 
@@ -150,8 +150,8 @@ def table5() -> ExperimentResult:
     """Table V: ACL Direct workgroup sizes and runtimes for 90-93 channels."""
 
     ref = resnet_layer(16)
-    device = get_device("hikey-970")
-    library = get_library("acl-direct")
+    device = DEVICES.get("hikey-970")
+    library = LIBRARIES.create("acl-direct")
     simulator = GpuSimulator(device)
 
     rows: List[WorkgroupRow] = []

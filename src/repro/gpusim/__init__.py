@@ -1,6 +1,12 @@
-"""Embedded GPU simulator: devices, kernels, execution model and metrics."""
+"""Embedded GPU simulator: devices, kernels, execution model and metrics.
+
+Device presets live in the unified :data:`DEVICES` registry; prefer
+``DEVICES.get(name)`` or :class:`repro.api.Target` over the deprecated
+:func:`get_device`.
+"""
 
 from .device import (
+    DEVICES,
     HIKEY_970,
     JETSON_NANO,
     JETSON_TX2,
@@ -28,6 +34,7 @@ from .simulator import (
 )
 
 __all__ = [
+    "DEVICES",
     "HIKEY_970",
     "JETSON_NANO",
     "JETSON_TX2",

@@ -23,8 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..api.registry import Registry, UnknownPluginError, warn_deprecated
 
-class UnknownDeviceError(KeyError):
+
+class UnknownDeviceError(UnknownPluginError):
     """Raised when a device name is not recognised."""
 
 
@@ -139,41 +141,27 @@ JETSON_NANO = DeviceSpec(
     threads_per_unit_for_full_utilization=2048,
 )
 
-_DEVICES: Dict[str, DeviceSpec] = {
-    "hikey-970": HIKEY_970,
-    "odroid-xu4": ODROID_XU4,
-    "jetson-tx2": JETSON_TX2,
-    "jetson-nano": JETSON_NANO,
-}
+#: The unified device registry (see :mod:`repro.api.registry`).
+DEVICES: Registry[DeviceSpec] = Registry("device", error_cls=UnknownDeviceError)
 
-_ALIASES: Dict[str, str] = {
-    "hikey": "hikey-970",
-    "hikey970": "hikey-970",
-    "mali-g72": "hikey-970",
-    "g72": "hikey-970",
-    "odroid": "odroid-xu4",
-    "xu4": "odroid-xu4",
-    "mali-t628": "odroid-xu4",
-    "t628": "odroid-xu4",
-    "tx2": "jetson-tx2",
-    "nano": "jetson-nano",
-    "jetson": "jetson-tx2",
-}
+DEVICES.register("hikey-970", HIKEY_970, aliases=("hikey", "hikey970", "mali-g72", "g72"))
+DEVICES.register("odroid-xu4", ODROID_XU4, aliases=("odroid", "xu4", "mali-t628", "t628"))
+DEVICES.register("jetson-tx2", JETSON_TX2, aliases=("tx2", "jetson"))
+DEVICES.register("jetson-nano", JETSON_NANO, aliases=("nano",))
 
 
 def available_devices() -> List[str]:
     """Names of the supported device presets, sorted."""
 
-    return sorted(_DEVICES)
+    return DEVICES.available()
 
 
 def get_device(name: str) -> DeviceSpec:
-    """Look up a device preset by name or alias."""
+    """Look up a device preset by name or alias.
 
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _DEVICES:
-        raise UnknownDeviceError(
-            f"unknown device {name!r}; available: {available_devices()}"
-        )
-    return _DEVICES[key]
+    .. deprecated::
+        Use ``DEVICES.get(name)`` or :class:`repro.api.Target` instead.
+    """
+
+    warn_deprecated("repro.gpusim.get_device", "repro.gpusim.device.DEVICES.get or repro.api.Target")
+    return DEVICES.get(name)

@@ -1,8 +1,14 @@
-"""Deep-learning library planning models (ACL GEMM/Direct, cuDNN, TVM)."""
+"""Deep-learning library planning models (ACL GEMM/Direct, cuDNN, TVM).
+
+Planner classes live in the unified :data:`LIBRARIES` registry; prefer
+``LIBRARIES.create(name)`` or :class:`repro.api.Target` over the
+deprecated :func:`get_library`.
+"""
 
 from .acl_direct import AclDirectLibrary, channel_divisibility, select_workgroup
 from .acl_gemm import AclGemmLibrary, GemmSplit, pad_channels, split_columns
 from .base import (
+    LIBRARIES,
     ConvolutionLibrary,
     LibraryError,
     UnknownLibraryError,
@@ -14,6 +20,7 @@ from .cudnn import CudnnLibrary, padded_channels, select_tile
 from .tvm import ScheduleClass, TvmLibrary, schedule_class
 
 __all__ = [
+    "LIBRARIES",
     "AclDirectLibrary",
     "AclGemmLibrary",
     "ConvolutionLibrary",

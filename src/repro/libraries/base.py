@@ -17,8 +17,9 @@ visible by replaying them on a Mali GPU simulator.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Type
+from typing import List, Type
 
+from ..api.registry import Registry, UnknownPluginError, warn_deprecated
 from ..gpusim.device import DeviceSpec
 from ..gpusim.kernel import KernelPlan
 from ..models.layers import ConvLayerSpec
@@ -28,7 +29,7 @@ class LibraryError(ValueError):
     """Raised when a library cannot plan a layer (wrong API, bad shape)."""
 
 
-class UnknownLibraryError(KeyError):
+class UnknownLibraryError(UnknownPluginError):
     """Raised when a library name is not registered."""
 
 
@@ -66,16 +67,21 @@ class ConvolutionLibrary(abc.ABC):
         return f"<{type(self).__name__} name={self.name!r} api={self.api!r}>"
 
 
-_REGISTRY: Dict[str, Type[ConvolutionLibrary]] = {}
-
-_ALIASES: Dict[str, str] = {
-    "acl": "acl-gemm",
-    "arm-compute-library": "acl-gemm",
-    "acl_gemm": "acl-gemm",
-    "acl_direct": "acl-direct",
-    "cudnn7": "cudnn",
-    "tvm-opencl": "tvm",
-}
+#: The unified library registry (see :mod:`repro.api.registry`); entries
+#: are :class:`ConvolutionLibrary` subclasses, instantiated per lookup
+#: via ``LIBRARIES.create(name)``.
+LIBRARIES: Registry[Type[ConvolutionLibrary]] = Registry(
+    "library",
+    error_cls=UnknownLibraryError,
+    aliases={
+        "acl": "acl-gemm",
+        "arm-compute-library": "acl-gemm",
+        "acl_gemm": "acl-gemm",
+        "acl_direct": "acl-direct",
+        "cudnn7": "cudnn",
+        "tvm-opencl": "tvm",
+    },
+)
 
 
 def register_library(cls: Type[ConvolutionLibrary]) -> Type[ConvolutionLibrary]:
@@ -83,23 +89,24 @@ def register_library(cls: Type[ConvolutionLibrary]) -> Type[ConvolutionLibrary]:
 
     if not cls.name:
         raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
-    _REGISTRY[cls.name] = cls
-    return cls
+    return LIBRARIES.register(cls.name, cls)
 
 
 def available_libraries() -> List[str]:
     """Registered library names, sorted."""
 
-    return sorted(_REGISTRY)
+    return LIBRARIES.available()
 
 
 def get_library(name: str) -> ConvolutionLibrary:
-    """Instantiate a library model by name or alias."""
+    """Instantiate a library model by name or alias.
 
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _REGISTRY:
-        raise UnknownLibraryError(
-            f"unknown library {name!r}; available: {available_libraries()}"
-        )
-    return _REGISTRY[key]()
+    .. deprecated::
+        Use ``LIBRARIES.create(name)`` or :class:`repro.api.Target` instead.
+    """
+
+    warn_deprecated(
+        "repro.libraries.get_library",
+        "repro.libraries.base.LIBRARIES.create or repro.api.Target",
+    )
+    return LIBRARIES.create(name)

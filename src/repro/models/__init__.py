@@ -1,4 +1,9 @@
-"""CNN model zoo: layer specs, network graphs and the paper's three networks."""
+"""CNN model zoo: layer specs, network graphs and the paper's three networks.
+
+Network builders live in the unified :data:`MODELS` registry; prefer
+``MODELS.create(name)`` or :meth:`repro.api.Session.network` over the
+deprecated :func:`build_model`.
+"""
 
 from .alexnet import build_alexnet
 from .graph import ConvLayerRef, Network, NetworkError, build_sequential_network
@@ -18,6 +23,7 @@ from .layers import (
 from .resnet50 import build_resnet50
 from .vgg16 import build_vgg16
 from .zoo import (
+    MODELS,
     UnknownModelError,
     available_models,
     build_model,
@@ -27,6 +33,7 @@ from .zoo import (
 )
 
 __all__ = [
+    "MODELS",
     "ActivationLayerSpec",
     "BatchNormLayerSpec",
     "ConvLayerRef",

@@ -1,6 +1,9 @@
 """Model zoo: the three networks the paper profiles, by name.
 
-The zoo also exposes the *profiled layer sets* used throughout the
+Builders are registered in the unified :data:`MODELS` registry (see
+:mod:`repro.api.registry`); ``MODELS.create("resnet50")`` builds a
+network, and :class:`repro.api.Session.network` adds cross-call reuse on
+top.  The zoo also exposes the *profiled layer sets* used throughout the
 experiments — for each network, the convolutional layers with unique
 shapes whose pruning behaviour the paper reports.
 """
@@ -10,18 +13,30 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Tuple
 
 from . import alexnet, resnet50, vgg16
+from ..api.registry import Registry, UnknownPluginError, warn_deprecated
 from .graph import ConvLayerRef, Network
 
 
-class UnknownModelError(KeyError):
+class UnknownModelError(UnknownPluginError):
     """Raised when a model name is not present in the zoo."""
 
 
-_BUILDERS: Dict[str, Callable[[], Network]] = {
-    "resnet50": resnet50.build_resnet50,
-    "vgg16": vgg16.build_vgg16,
-    "alexnet": alexnet.build_alexnet,
-}
+#: The unified model registry; entries are zero-argument network
+#: builders, invoked per lookup via ``MODELS.create(name)``.
+MODELS: Registry[Callable[[], Network]] = Registry(
+    "model",
+    error_cls=UnknownModelError,
+    aliases={
+        "resnet": "resnet50",
+        "resnet-50": "resnet50",
+        "vgg": "vgg16",
+        "vgg-16": "vgg16",
+    },
+)
+
+MODELS.register("resnet50", resnet50.build_resnet50)
+MODELS.register("vgg16", vgg16.build_vgg16)
+MODELS.register("alexnet", alexnet.build_alexnet)
 
 _PROFILED_INDICES: Dict[str, Tuple[int, ...]] = {
     "resnet50": resnet50.PROFILED_LAYER_INDICES,
@@ -29,37 +44,32 @@ _PROFILED_INDICES: Dict[str, Tuple[int, ...]] = {
     "alexnet": alexnet.PROFILED_LAYER_INDICES,
 }
 
-#: Aliases accepted by :func:`build_model` (paper-style capitalisation).
-_ALIASES: Dict[str, str] = {
-    "resnet": "resnet50",
-    "resnet-50": "resnet50",
-    "vgg": "vgg16",
-    "vgg-16": "vgg16",
-}
-
 
 def available_models() -> List[str]:
     """Names of the models in the zoo, sorted."""
 
-    return sorted(_BUILDERS)
+    return MODELS.available()
 
 
 def canonical_name(name: str) -> str:
     """Resolve aliases and capitalisation to a canonical zoo name."""
 
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _BUILDERS:
-        raise UnknownModelError(
-            f"unknown model {name!r}; available: {available_models()}"
-        )
-    return key
+    return MODELS.canonical(name)
 
 
 def build_model(name: str) -> Network:
-    """Build a network from the zoo by name (aliases accepted)."""
+    """Build a network from the zoo by name (aliases accepted).
 
-    return _BUILDERS[canonical_name(name)]()
+    .. deprecated::
+        Use ``MODELS.create(name)`` or :meth:`repro.api.Session.network`
+        instead.
+    """
+
+    warn_deprecated(
+        "repro.models.build_model",
+        "repro.models.zoo.MODELS.create or repro.api.Session.network",
+    )
+    return MODELS.create(name)
 
 
 def profiled_layer_indices(name: str) -> Tuple[int, ...]:
@@ -71,5 +81,5 @@ def profiled_layer_indices(name: str) -> Tuple[int, ...]:
 def profiled_layer_refs(name: str) -> List[ConvLayerRef]:
     """Profiled layers of a model as :class:`ConvLayerRef` objects."""
 
-    network = build_model(name)
+    network = MODELS.create(canonical_name(name))
     return [network.conv_layer(index) for index in profiled_layer_indices(name)]

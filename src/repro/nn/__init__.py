@@ -1,4 +1,8 @@
-"""NumPy compute substrate: reference convolution routines and operators."""
+"""NumPy compute substrate: reference convolution routines and operators.
+
+This layer is target-agnostic; for the profiling/pruning workflow start
+at :mod:`repro.api` (the canonical entry point).
+"""
 
 from .direct_conv import direct_conv2d, direct_conv2d_for_spec
 from .gemm_conv import gemm_conv2d, gemm_conv2d_for_spec, gemm_dimensions

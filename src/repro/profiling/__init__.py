@@ -1,4 +1,9 @@
-"""Profiling: kernel event capture, median-of-N measurement, latency tables."""
+"""Profiling: kernel event capture, median-of-N measurement, latency tables.
+
+For cached cross-call profiling, prefer :meth:`repro.api.Session.profile_layer`
+(the canonical entry point) over driving :class:`ProfileRunner` directly;
+``ProfileRunner.for_target`` builds a runner from a :class:`repro.api.Target`.
+"""
 
 from .events import KernelEvent, ProfiledRun
 from .latency_table import LatencyTable, build_latency_table, prune_distances

@@ -96,8 +96,15 @@ def build_latency_table(
     layer: ConvLayerSpec,
     channel_counts: Optional[Iterable[int]] = None,
 ) -> LatencyTable:
-    """Measure a layer across channel counts and collect a latency table."""
+    """Measure a layer across channel counts and collect a latency table.
 
+    ``runner`` may also be a :class:`repro.api.Target`, in which case a
+    fresh (uncached) :class:`ProfileRunner` is built for it; pass a
+    :class:`repro.api.Session`-owned runner to share measurements.
+    """
+
+    if not isinstance(runner, ProfileRunner):
+        runner = ProfileRunner.for_target(runner)
     table = LatencyTable(
         layer_name=layer.name,
         device_name=runner.device.name,

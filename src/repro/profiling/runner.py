@@ -14,12 +14,17 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..gpusim.device import DeviceSpec, get_device
+from typing import TYPE_CHECKING
+
+from ..gpusim.device import DEVICES, DeviceSpec
 from ..gpusim.kernel import KernelPlan
-from ..libraries.base import ConvolutionLibrary, get_library
+from ..libraries.base import LIBRARIES, ConvolutionLibrary
 from ..models.layers import ConvLayerSpec
 from .events import ProfiledRun
 from .profilers import profile_runs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.target import Target
 
 #: Number of repetitions per configuration (the paper reports the median
 #: of 10 runs).
@@ -62,7 +67,17 @@ class ProfileRunner:
     def create(cls, device: str, library: str, runs: int = DEFAULT_RUNS) -> "ProfileRunner":
         """Build a runner from device and library names."""
 
-        return cls(device=get_device(device), library=get_library(library), runs=runs)
+        return cls(device=DEVICES.get(device), library=LIBRARIES.create(library), runs=runs)
+
+    @classmethod
+    def for_target(cls, target: "Target") -> "ProfileRunner":
+        """Build a runner for a :class:`repro.api.Target`."""
+
+        return cls(
+            device=target.device_spec,
+            library=target.create_library(),
+            runs=target.runs,
+        )
 
     # ------------------------------------------------------------------
     def _cache_key(self, layer: ConvLayerSpec, out_channels: int) -> Tuple[str, int]:

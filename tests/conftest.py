@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.gpusim import GpuSimulator, get_device
-from repro.libraries import get_library
+from repro.gpusim import DEVICES, GpuSimulator
+from repro.libraries import LIBRARIES
 from repro.models import build_alexnet, build_resnet50, build_vgg16
 from repro.profiling import ProfileRunner
 
@@ -48,42 +48,42 @@ def layer45(resnet50):
 
 @pytest.fixture(scope="session")
 def hikey():
-    return get_device("hikey-970")
+    return DEVICES.get("hikey-970")
 
 
 @pytest.fixture(scope="session")
 def odroid():
-    return get_device("odroid-xu4")
+    return DEVICES.get("odroid-xu4")
 
 
 @pytest.fixture(scope="session")
 def tx2():
-    return get_device("jetson-tx2")
+    return DEVICES.get("jetson-tx2")
 
 
 @pytest.fixture(scope="session")
 def nano():
-    return get_device("jetson-nano")
+    return DEVICES.get("jetson-nano")
 
 
 @pytest.fixture(scope="session")
 def acl_gemm():
-    return get_library("acl-gemm")
+    return LIBRARIES.create("acl-gemm")
 
 
 @pytest.fixture(scope="session")
 def acl_direct():
-    return get_library("acl-direct")
+    return LIBRARIES.create("acl-direct")
 
 
 @pytest.fixture(scope="session")
 def cudnn():
-    return get_library("cudnn")
+    return LIBRARIES.create("cudnn")
 
 
 @pytest.fixture(scope="session")
 def tvm():
-    return get_library("tvm")
+    return LIBRARIES.create("tvm")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,58 @@
+"""Every legacy registry shim warns but returns the same objects as before."""
+
+import pytest
+
+from repro.core.criteria import CRITERIA, get_criterion
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.gpusim.device import DEVICES, get_device
+from repro.libraries.base import LIBRARIES, get_library
+from repro.models.zoo import MODELS, build_model
+
+
+class TestShimsWarn:
+    def test_get_device_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="get_device"):
+            device = get_device("hikey-970")
+        assert device is DEVICES.get("hikey-970")
+
+    def test_get_library_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="get_library"):
+            library = get_library("acl-gemm")
+        assert type(library) is LIBRARIES.get("acl-gemm")
+
+    def test_get_criterion_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="get_criterion"):
+            criterion = get_criterion("l1")
+        assert type(criterion) is CRITERIA.get("l1")
+
+    def test_build_model_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="build_model"):
+            network = build_model("alexnet")
+        fresh = MODELS.create("alexnet")
+        assert network.name == fresh.name
+        assert len(network.layers) == len(fresh.layers)
+
+    def test_get_experiment_warns_and_matches_registry(self):
+        with pytest.warns(DeprecationWarning, match="get_experiment"):
+            fn = get_experiment("fig01")
+        assert fn is EXPERIMENTS.get("fig01")
+
+    def test_shims_accept_aliases_like_the_registries(self):
+        with pytest.warns(DeprecationWarning):
+            assert get_device("tx2") is DEVICES.get("jetson-tx2")
+        with pytest.warns(DeprecationWarning):
+            assert build_model("resnet").name == "ResNet"
+
+    def test_shim_errors_match_registry_errors(self):
+        from repro.gpusim.device import UnknownDeviceError
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(UnknownDeviceError):
+                get_device("xavier")
+
+    def test_warning_points_at_the_caller(self):
+        """stacklevel is set so the warning names this file, not the shim."""
+
+        with pytest.warns(DeprecationWarning) as records:
+            get_device("hikey-970")
+        assert records[0].filename == __file__

@@ -1,0 +1,166 @@
+"""Tests for the generic plugin registry behind all five legacy registries."""
+
+import pytest
+
+from repro.api.registry import Registry, RegistryError, UnknownPluginError
+
+
+class TestRegistration:
+    def test_direct_registration(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        assert registry.get("alpha") == 1
+        assert registry.available() == ["alpha"]
+
+    def test_decorator_with_explicit_name(self):
+        registry = Registry("widget")
+
+        @registry.register("fn")
+        def fn():
+            return "hi"
+
+        assert registry.get("fn") is fn
+
+    def test_bare_decorator_derives_name_from_dunder_name(self):
+        registry = Registry("widget")
+
+        @registry.register
+        def my_widget():
+            pass
+
+        assert registry.get("my_widget") is my_widget
+
+    def test_bare_decorator_prefers_name_attribute(self):
+        registry = Registry("widget")
+
+        class Plugin:
+            name = "plug"
+
+        registry.register(Plugin)
+        assert registry.get("plug") is Plugin
+
+    def test_empty_name_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.register("   ", 1)
+
+    def test_underivable_name_rejected(self):
+        registry = Registry("widget")
+        with pytest.raises(RegistryError):
+            registry.register(object())
+
+    def test_registration_aliases(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1, aliases=("a", "first"))
+        assert registry.get("A") == 1
+        assert registry.get("first") == 1
+
+
+class TestLookup:
+    def test_lookup_is_case_insensitive_and_strips(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        assert registry.get("  ALPHA ") == 1
+
+    def test_canonical_resolves_aliases(self):
+        registry = Registry("widget", aliases={"a": "alpha"})
+        registry.register("alpha", 1)
+        assert registry.canonical("A") == "alpha"
+
+    def test_unknown_name_raises_uniform_error(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        registry.register("beta", 2)
+        with pytest.raises(UnknownPluginError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "unknown widget 'gamma'" in message
+        assert "['alpha', 'beta']" in message
+
+    def test_custom_error_class(self):
+        class MyError(UnknownPluginError):
+            pass
+
+        registry = Registry("widget", error_cls=MyError)
+        with pytest.raises(MyError):
+            registry.get("nope")
+
+    def test_contains_len_iter(self):
+        registry = Registry("widget", aliases={"a": "alpha"})
+        registry.register("alpha", 1)
+        assert "alpha" in registry
+        assert "a" in registry
+        assert "beta" not in registry
+        assert 3 not in registry
+        assert len(registry) == 1
+        assert list(registry) == ["alpha"]
+
+    def test_create_calls_factory(self):
+        registry = Registry("widget")
+        registry.register("list", list)
+        assert registry.create("list", "ab") == ["a", "b"]
+
+    def test_create_rejects_non_callable(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        with pytest.raises(TypeError):
+            registry.create("alpha")
+
+    def test_insertion_order_preserved_when_unsorted(self):
+        registry = Registry("widget", sort_names=False)
+        registry.register("zeta", 1)
+        registry.register("alpha", 2)
+        assert registry.available() == ["zeta", "alpha"]
+
+    def test_alias_cannot_shadow_registered_name(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        with pytest.raises(RegistryError):
+            registry.alias("alpha", "beta")
+
+
+class TestConcreteRegistries:
+    """The five production registries are all backed by Registry[T]."""
+
+    def test_all_five_are_registry_instances(self):
+        from repro.core.criteria import CRITERIA
+        from repro.experiments.registry import EXPERIMENTS
+        from repro.gpusim.device import DEVICES
+        from repro.libraries.base import LIBRARIES
+        from repro.models.zoo import MODELS
+
+        for registry in (DEVICES, LIBRARIES, CRITERIA, MODELS, EXPERIMENTS):
+            assert isinstance(registry, Registry)
+
+    def test_legacy_error_types_are_unknown_plugin_errors(self):
+        from repro.core.criteria import CriterionError, UnknownCriterionError
+        from repro.experiments.registry import UnknownExperimentError
+        from repro.gpusim.device import UnknownDeviceError
+        from repro.libraries.base import UnknownLibraryError
+        from repro.models.zoo import UnknownModelError
+
+        for error_cls in (
+            UnknownDeviceError,
+            UnknownLibraryError,
+            UnknownCriterionError,
+            UnknownModelError,
+            UnknownExperimentError,
+        ):
+            assert issubclass(error_cls, UnknownPluginError)
+        # The criterion error keeps its historical ValueError lineage too.
+        assert issubclass(UnknownCriterionError, CriterionError)
+
+    def test_device_registry_contents(self):
+        from repro.gpusim.device import DEVICES, HIKEY_970
+
+        assert DEVICES.available() == [
+            "hikey-970", "jetson-nano", "jetson-tx2", "odroid-xu4",
+        ]
+        assert DEVICES.get("g72") is HIKEY_970
+
+    def test_experiment_registry_preserves_paper_order(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        names = EXPERIMENTS.available()
+        assert names[0] == "fig01"
+        assert names.index("table1") > names.index("fig20")

@@ -1,0 +1,114 @@
+"""Tests for the Target value object."""
+
+import pytest
+
+from repro.api import Target, TargetError, default_targets, iter_all_targets
+from repro.gpusim import HIKEY_970, JETSON_TX2
+from repro.libraries import AclGemmLibrary
+
+
+class TestConstruction:
+    def test_canonicalises_names_and_aliases(self):
+        target = Target("tx2", "cudnn7")
+        assert target.device == "jetson-tx2"
+        assert target.library == "cudnn"
+
+    def test_aliases_hash_and_compare_equal(self):
+        assert Target("HiKey", "ACL") == Target("hikey-970", "acl-gemm")
+        assert hash(Target("tx2", "cudnn")) == hash(Target("jetson-tx2", "cudnn7"))
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(TargetError, match="unknown device"):
+            Target("xavier", "cudnn")
+
+    def test_unknown_library_rejected(self):
+        with pytest.raises(TargetError, match="unknown library"):
+            Target("hikey-970", "tensorrt")
+
+    def test_api_mismatch_rejected_at_construction(self):
+        with pytest.raises(TargetError, match="cuda"):
+            Target("jetson-tx2", "acl-gemm")
+        with pytest.raises(TargetError, match="opencl"):
+            Target("hikey-970", "cudnn")
+
+    @pytest.mark.parametrize("runs", [0, -1, 1.5, True, "3"])
+    def test_invalid_runs_rejected(self, runs):
+        with pytest.raises(TargetError, match="runs"):
+            Target("hikey-970", "acl-gemm", runs)
+
+    def test_frozen(self):
+        target = Target("hikey-970", "acl-gemm")
+        with pytest.raises(AttributeError):
+            target.device = "jetson-tx2"
+
+
+class TestResolution:
+    def test_device_spec_and_library(self):
+        target = Target("hikey-970", "acl-gemm")
+        assert target.device_spec is HIKEY_970
+        assert isinstance(target.create_library(), AclGemmLibrary)
+
+    def test_create_library_returns_fresh_instances(self):
+        target = Target("hikey-970", "acl-gemm")
+        assert target.create_library() is not target.create_library()
+
+    def test_label(self):
+        assert Target("tx2", "cudnn").label == "cudnn@jetson-tx2"
+
+
+class TestSerialization:
+    def test_to_from_dict_round_trip(self):
+        target = Target("odroid", "tvm", runs=7)
+        payload = target.to_dict()
+        assert payload == {"device": "odroid-xu4", "library": "tvm", "runs": 7}
+        assert Target.from_dict(payload) == target
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(TargetError, match="missing key"):
+            Target.from_dict({"device": "hikey-970"})
+
+    def test_of_accepts_target_tuple_dict_and_label(self):
+        target = Target("hikey-970", "acl-gemm")
+        assert Target.of(target) is target
+        assert Target.of(("hikey-970", "acl-gemm")) == target
+        assert Target.of(("hikey-970", "acl-gemm", 9)).runs == 9
+        assert Target.of(target.to_dict()) == target
+        assert Target.of("acl-gemm@hikey-970") == target
+
+    def test_of_runs_override(self):
+        target = Target("hikey-970", "acl-gemm", runs=3)
+        assert Target.of(target, runs=5).runs == 5
+        assert Target.of(("tx2", "cudnn"), runs=5).runs == 5
+
+    def test_of_rejects_garbage(self):
+        with pytest.raises(TargetError):
+            Target.of(42)
+        with pytest.raises(TargetError):
+            Target.of("no-at-sign")
+
+    def test_with_runs(self):
+        target = Target("hikey-970", "acl-gemm", runs=3)
+        assert target.with_runs(10) == Target("hikey-970", "acl-gemm", 10)
+
+
+class TestEnumeration:
+    def test_default_targets_are_the_papers_four(self):
+        targets = default_targets()
+        assert [(t.device, t.library) for t in targets] == [
+            ("hikey-970", "acl-gemm"),
+            ("hikey-970", "acl-direct"),
+            ("hikey-970", "tvm"),
+            ("jetson-tx2", "cudnn"),
+        ]
+
+    def test_iter_all_targets_only_compatible_pairs(self):
+        targets = list(iter_all_targets())
+        assert Target("jetson-tx2", "cudnn") in targets
+        assert all(
+            t.device_spec.api == t.create_library().api for t in targets
+        )
+        # 2 OpenCL boards x 3 OpenCL libraries + 2 CUDA boards x 1 CUDA library.
+        assert len(targets) == 8
+
+    def test_jetson_tx2_spec_sanity(self):
+        assert Target("tx2", "cudnn").device_spec is JETSON_TX2

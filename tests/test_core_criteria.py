@@ -10,6 +10,7 @@ from repro.core import (
     RandomCriterion,
     SequentialCriterion,
     available_criteria,
+    CRITERIA,
     get_criterion,
 )
 from repro.models import ConvLayerSpec
@@ -26,13 +27,13 @@ class TestRegistry:
     def test_available_criteria(self):
         assert available_criteria() == ["l1", "l2", "random", "sequential"]
 
-    def test_get_criterion(self):
-        assert isinstance(get_criterion("l1"), L1NormCriterion)
-        assert isinstance(get_criterion("Sequential"), SequentialCriterion)
+    def test_create_criterion(self):
+        assert isinstance(CRITERIA.create("l1"), L1NormCriterion)
+        assert isinstance(CRITERIA.create("Sequential"), SequentialCriterion)
 
     def test_unknown_criterion(self):
         with pytest.raises(CriterionError):
-            get_criterion("taylor")
+            CRITERIA.create("taylor")
 
 
 class TestSequential:
@@ -100,7 +101,7 @@ class TestValidation:
 
     def test_keep_count_respected_by_all(self, spec):
         for name in available_criteria():
-            kept = get_criterion(name).keep_channels(spec, 6)
+            kept = CRITERIA.create(name).keep_channels(spec, 6)
             assert len(kept) == 6
             assert len(set(kept)) == 6
             assert all(0 <= channel < 10 for channel in kept)

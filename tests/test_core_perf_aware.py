@@ -9,7 +9,7 @@ from repro.core import (
     PruningSearch,
     pareto_frontier,
 )
-from repro.models import build_model
+from repro.models import MODELS
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +26,7 @@ def cudnn_pruner():
 
 @pytest.fixture(scope="module")
 def resnet():
-    return build_model("resnet50")
+    return MODELS.create("resnet50")
 
 
 class TestConstruction:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ChannelPruner, LayerPruning, PruningError, get_criterion
+from repro.core import CRITERIA, ChannelPruner, LayerPruning, PruningError
 from repro.models import ConvLayerSpec, build_alexnet
 from repro.nn import InferenceEngine, conv_input, conv_weights
 
@@ -122,7 +122,7 @@ class TestWeightPruning:
         spec = ConvLayerSpec(name="wp.func", in_channels=3, out_channels=8,
                              kernel_size=3, padding=1, input_hw=6)
         for criterion_name in ("sequential", "l1", "random"):
-            pruner = ChannelPruner(get_criterion(criterion_name))
+            pruner = ChannelPruner(CRITERIA.create(criterion_name))
             weights = conv_weights(spec)
             pruned = pruner.prune_weights(spec, keep=5, weights=weights)
             engine = InferenceEngine()

@@ -45,3 +45,20 @@ class TestCli:
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             main(["fig99"])
+
+
+class TestTargetsSubcommand:
+    def test_targets_lists_every_device_library_pair(self, capsys):
+        from repro.gpusim import DEVICES
+        from repro.libraries import LIBRARIES
+
+        assert main(["targets"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == len(DEVICES.available()) * len(LIBRARIES.available())
+
+    def test_targets_marks_compatibility(self, capsys):
+        assert main(["targets"]) == 0
+        output = capsys.readouterr().out
+        assert "hikey-970    acl-gemm     ok (opencl)" in output
+        assert "jetson-tx2   cudnn        ok (cuda)" in output
+        assert "jetson-tx2   acl-gemm     incompatible (api mismatch)" in output

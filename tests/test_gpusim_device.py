@@ -12,6 +12,7 @@ from repro.gpusim import (
     DeviceSpec,
     UnknownDeviceError,
     available_devices,
+    DEVICES,
     get_device,
 )
 
@@ -21,14 +22,14 @@ class TestPresets:
         assert available_devices() == ["hikey-970", "jetson-nano", "jetson-tx2", "odroid-xu4"]
 
     def test_aliases(self):
-        assert get_device("tx2") is JETSON_TX2
-        assert get_device("HiKey") is HIKEY_970
-        assert get_device("mali-t628") is ODROID_XU4
-        assert get_device("nano") is JETSON_NANO
+        assert DEVICES.get("tx2") is JETSON_TX2
+        assert DEVICES.get("HiKey") is HIKEY_970
+        assert DEVICES.get("mali-t628") is ODROID_XU4
+        assert DEVICES.get("nano") is JETSON_NANO
 
     def test_unknown_device(self):
         with pytest.raises(UnknownDeviceError):
-            get_device("xavier")
+            DEVICES.get("xavier")
 
     def test_apis(self):
         assert HIKEY_970.api == "opencl"

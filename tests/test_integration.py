@@ -6,10 +6,10 @@ from repro import (
     GpuSimulator,
     PerformanceAwarePruner,
     ProfileRunner,
-    build_model,
-    get_device,
-    get_library,
 )
+from repro.gpusim import DEVICES
+from repro.libraries import LIBRARIES
+from repro.models import MODELS
 from repro.analysis import speedup_matrix
 from repro.core import ChannelPruner, analyze_table, default_accuracy_model
 from repro.models import profiled_layer_refs
@@ -21,18 +21,20 @@ class TestTopLevelApi:
     def test_package_exposes_main_entry_points(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
         assert callable(repro.build_model)
         assert callable(repro.get_device)
         assert callable(repro.get_library)
+        assert callable(repro.Session)
+        assert callable(repro.Target)
 
     def test_model_to_latency_pipeline(self):
         """The README quickstart pipeline end to end."""
 
-        network = build_model("resnet50")
+        network = MODELS.create("resnet50")
         layer = network.conv_layer(16).spec
-        device = get_device("hikey-970")
-        library = get_library("acl-gemm")
+        device = DEVICES.get("hikey-970")
+        library = LIBRARIES.create("acl-gemm")
         plan = library.plan(layer, device)
         time_ms = GpuSimulator(device).run_time_ms(plan)
         assert 5.0 < time_ms < 60.0
@@ -52,8 +54,8 @@ class TestCrossLibraryConsistency:
 
     @pytest.mark.parametrize("library_name,device_name", TARGETS)
     def test_all_profiled_resnet_layers_plannable(self, library_name, device_name):
-        device = get_device(device_name)
-        library = get_library(library_name)
+        device = DEVICES.get(device_name)
+        library = LIBRARIES.create(library_name)
         simulator = GpuSimulator(device)
         for ref in profiled_layer_refs("resnet50"):
             time_ms = simulator.run_time_ms(library.plan(ref.spec, device))
@@ -62,8 +64,8 @@ class TestCrossLibraryConsistency:
     @pytest.mark.parametrize("model", ["vgg16", "alexnet"])
     def test_other_networks_plannable_on_all_targets(self, model):
         for library_name, device_name in self.TARGETS:
-            device = get_device(device_name)
-            library = get_library(library_name)
+            device = DEVICES.get(device_name)
+            library = LIBRARIES.create(library_name)
             simulator = GpuSimulator(device)
             for ref in profiled_layer_refs(model):
                 assert simulator.run_time_ms(library.plan(ref.spec, device)) > 0
@@ -73,7 +75,7 @@ class TestEndToEndProposalFlow:
     def test_profile_analyse_prune_execute(self):
         """Full workflow: profile -> staircase -> prune -> run the pruned net."""
 
-        network = build_model("alexnet")
+        network = MODELS.create("alexnet")
         pruner = PerformanceAwarePruner("jetson-tx2", "cudnn", runs=1)
         layer_indices = [6, 8]
 
@@ -121,7 +123,7 @@ class TestEndToEndProposalFlow:
     def test_same_layer_different_devices_same_pattern_family(self):
         """cuDNN's staircase shape is shared between TX2 and Nano (Fig. 7)."""
 
-        network = build_model("resnet50")
+        network = MODELS.create("resnet50")
         layer = network.conv_layer(14).spec
         counts = list(range(32, 513, 32))
         tables = {}

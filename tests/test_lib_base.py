@@ -10,6 +10,7 @@ from repro.libraries import (
     TvmLibrary,
     UnknownLibraryError,
     available_libraries,
+    LIBRARIES,
     get_library,
 )
 
@@ -19,33 +20,33 @@ class TestRegistry:
         assert available_libraries() == ["acl-direct", "acl-gemm", "cudnn", "tvm"]
 
     def test_get_library_by_name(self):
-        assert isinstance(get_library("acl-gemm"), AclGemmLibrary)
-        assert isinstance(get_library("acl-direct"), AclDirectLibrary)
-        assert isinstance(get_library("cudnn"), CudnnLibrary)
-        assert isinstance(get_library("tvm"), TvmLibrary)
+        assert isinstance(LIBRARIES.create("acl-gemm"), AclGemmLibrary)
+        assert isinstance(LIBRARIES.create("acl-direct"), AclDirectLibrary)
+        assert isinstance(LIBRARIES.create("cudnn"), CudnnLibrary)
+        assert isinstance(LIBRARIES.create("tvm"), TvmLibrary)
 
     def test_aliases(self):
-        assert isinstance(get_library("ACL"), AclGemmLibrary)
-        assert isinstance(get_library("cudnn7"), CudnnLibrary)
-        assert isinstance(get_library("tvm-opencl"), TvmLibrary)
+        assert isinstance(LIBRARIES.create("ACL"), AclGemmLibrary)
+        assert isinstance(LIBRARIES.create("cudnn7"), CudnnLibrary)
+        assert isinstance(LIBRARIES.create("tvm-opencl"), TvmLibrary)
 
     def test_unknown_library(self):
         with pytest.raises(UnknownLibraryError):
-            get_library("tensorrt")
+            LIBRARIES.create("tensorrt")
 
     def test_each_call_returns_fresh_instance(self):
-        assert get_library("tvm") is not get_library("tvm")
+        assert LIBRARIES.create("tvm") is not LIBRARIES.create("tvm")
 
     def test_versions_match_paper(self):
-        assert get_library("acl-gemm").version == "v19.02"
-        assert get_library("acl-direct").version == "v19.02"
-        assert get_library("cudnn").version == "v7"
-        assert get_library("tvm").version == "0.6"
+        assert LIBRARIES.create("acl-gemm").version == "v19.02"
+        assert LIBRARIES.create("acl-direct").version == "v19.02"
+        assert LIBRARIES.create("cudnn").version == "v7"
+        assert LIBRARIES.create("tvm").version == "0.6"
 
     def test_apis(self):
-        assert get_library("acl-gemm").api == "opencl"
-        assert get_library("tvm").api == "opencl"
-        assert get_library("cudnn").api == "cuda"
+        assert LIBRARIES.create("acl-gemm").api == "opencl"
+        assert LIBRARIES.create("tvm").api == "opencl"
+        assert LIBRARIES.create("cudnn").api == "cuda"
 
 
 class TestInterface:
@@ -57,14 +58,14 @@ class TestInterface:
         from repro.libraries import LibraryError
 
         for name in available_libraries():
-            library = get_library(name)
+            library = LIBRARIES.create(name)
             wrong_device = tx2 if library.api == "opencl" else hikey
             with pytest.raises(LibraryError):
                 library.plan(layer16, wrong_device)
 
     def test_plans_carry_library_and_layer_names(self, layer16, hikey, tx2):
         for name in available_libraries():
-            library = get_library(name)
+            library = LIBRARIES.create(name)
             device = hikey if library.api == "opencl" else tx2
             plan = library.plan(layer16, device)
             assert plan.library == name
@@ -72,7 +73,7 @@ class TestInterface:
 
     def test_all_plans_have_positive_work(self, layer16, hikey, tx2):
         for name in available_libraries():
-            library = get_library(name)
+            library = LIBRARIES.create(name)
             device = hikey if library.api == "opencl" else tx2
             plan = library.plan(layer16, device)
             assert plan.total_arithmetic_instructions > 0

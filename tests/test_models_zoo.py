@@ -3,6 +3,7 @@
 import pytest
 
 from repro.models import (
+    MODELS,
     UnknownModelError,
     available_models,
     build_model,
@@ -24,10 +25,10 @@ class TestZooRegistry:
 
     def test_unknown_model_raises(self):
         with pytest.raises(UnknownModelError):
-            build_model("mobilenet")
+            MODELS.create("mobilenet")
 
     def test_build_model_by_alias(self):
-        assert build_model("resnet").name == "ResNet"
+        assert MODELS.create("resnet").name == "ResNet"
 
 
 class TestResNet50:

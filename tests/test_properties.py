@@ -7,17 +7,17 @@ from hypothesis import strategies as st
 from repro.core import ChannelPruner, SequentialCriterion, cluster_levels, detect_plateaus
 from repro.core.accuracy_model import AccuracyModel
 from repro.gpusim import GpuSimulator, HIKEY_970, JETSON_TX2
-from repro.libraries import get_library, pad_channels, split_columns
+from repro.libraries import LIBRARIES, pad_channels, split_columns
 from repro.libraries.cudnn import padded_channels
 from repro.models import ConvLayerSpec, build_resnet50
 from repro.nn import direct_conv2d, gemm_conv2d, im2col
 
 _RESNET = build_resnet50()
 _LAYER16 = _RESNET.conv_layer(16).spec
-_ACL_GEMM = get_library("acl-gemm")
-_ACL_DIRECT = get_library("acl-direct")
-_CUDNN = get_library("cudnn")
-_TVM = get_library("tvm")
+_ACL_GEMM = LIBRARIES.create("acl-gemm")
+_ACL_DIRECT = LIBRARIES.create("acl-direct")
+_CUDNN = LIBRARIES.create("cudnn")
+_TVM = LIBRARIES.create("tvm")
 _HIKEY_SIM = GpuSimulator(HIKEY_970)
 
 
@@ -142,7 +142,7 @@ def test_acl_gemm_plan_instruction_counts_positive_and_linear(channels):
 @settings(max_examples=15, deadline=None)
 @given(channels=st.integers(1, 128), library_name=st.sampled_from(["acl-gemm", "acl-direct", "tvm"]))
 def test_simulated_time_positive_for_all_libraries(channels, library_name):
-    library = get_library(library_name)
+    library = LIBRARIES.create(library_name)
     plan = library.plan_with_channels(_LAYER16, channels, HIKEY_970)
     assert _HIKEY_SIM.run_time_ms(plan) > 0
 
