@@ -15,18 +15,15 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import latency_curve
 from repro.api import Session, Target
-from repro.core import analyze_table
-from repro.profiling import build_latency_table
 
 TARGETS = (
-    ("jetson-tx2", "cudnn"),
-    ("jetson-nano", "cudnn"),
-    ("hikey-970", "acl-gemm"),
-    ("hikey-970", "acl-direct"),
-    ("hikey-970", "tvm"),
-    ("odroid-xu4", "acl-gemm"),
+    Target("jetson-tx2", "cudnn", runs=3),
+    Target("jetson-nano", "cudnn", runs=3),
+    Target("hikey-970", "acl-gemm", runs=3),
+    Target("hikey-970", "acl-direct", runs=3),
+    Target("hikey-970", "tvm", runs=3),
+    Target("odroid-xu4", "acl-gemm", runs=3),
 )
 
 
@@ -43,18 +40,17 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    for device, library in TARGETS:
-        runner = session.runner(Target(device, library, runs=3))
-        counts = list(range(1, spec.out_channels + 1, 2)) + [spec.out_channels]
-        table = build_latency_table(runner, spec, sorted(set(counts)))
-        curve = latency_curve(runner, spec, ref.label, channel_counts=sorted(set(counts)))
-        analysis = analyze_table(table)
-        original = table.time_ms(spec.out_channels)
-        best = curve.min_time_ms
-        worst = curve.max_time_ms
-        print(f"{library + '@' + device:>24} {original:>9.2f} {best:>9.2f} "
+    # One call fans the layer across every target; each per-target sweep
+    # runs through the batched simulator and the session cache.
+    sweep = session.sweep(TARGETS, spec, sweep_step=2)
+    for target in TARGETS:
+        profile = sweep.profile(target, spec.name)
+        _, times = profile.table.as_series()
+        original = profile.original_time_ms
+        best, worst = min(times), max(times)
+        print(f"{target.label:>24} {original:>9.2f} {best:>9.2f} "
               f"{original / best:>7.2f} {original / worst:>8.2f} "
-              f"{analysis.level_count:>7}")
+              f"{profile.analysis.level_count:>7}")
 
     print("\n'best x' is the speedup of the best pruning level; 'worst x' below 1.0 "
           "means some pruning levels are slower than the unpruned layer "

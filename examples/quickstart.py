@@ -10,12 +10,17 @@ layer (the paper's layer 16) using the canonical ``repro.api`` facade:
    caches the profile, so repeating it is free),
 3. analyse the staircase and find the step-optimal channel counts,
 4. submit a serializable :class:`PruningRequest` and compare the
-   performance-aware strategy with the uninstructed baseline.
+   performance-aware strategy with the uninstructed baseline,
+5. persist the profiles to an on-disk store and fan the same layer
+   across several targets with :meth:`Session.sweep`.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
+
+import tempfile
+from pathlib import Path
 
 from repro.api import PruningRequest, Session, Target
 
@@ -68,6 +73,27 @@ def main() -> None:
     print("\nThe naive choice lands on the slow staircase (an extra GPU job is "
           "dispatched for the GEMM remainder); the performance-aware choice keeps "
           "more channels *and* runs faster.")
+
+    # 5. Persistence and multi-target fan-out.  A Session built with
+    #    store=PATH writes every fresh measurement to a JSON-lines file and
+    #    reads it back in later processes (the CLI flag --profile-store
+    #    does the same); Session.sweep profiles one layer set across
+    #    several targets and returns a tidy per-target table.
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "profiles.jsonl"
+        warm = Session(store=store_path)
+        warm.sweep(
+            [target, Target("jetson-tx2", "cudnn", runs=5)], layer, sweep_step=8
+        )
+        cold = Session(store=store_path)  # a "new process"
+        sweep = cold.sweep(
+            [target, Target("jetson-tx2", "cudnn", runs=5)], layer, sweep_step=8
+        )
+        print(f"\nSweep across {len(sweep.targets)} targets "
+              f"({len(sweep)} measured points), replayed from the store with "
+              f"{cold.simulation_count()} new simulations:")
+        for line in sweep.format().splitlines():
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -91,12 +91,11 @@ def best_speedup_at_distance(
     """
 
     spec = ref.spec
-    baseline = runner.measure(spec).median_time_ms
     lowest = max(1, spec.out_channels - distance)
-    best = min(
-        runner.measure(spec, channels).median_time_ms
-        for channels in range(lowest, spec.out_channels)
-    )
+    counts = list(range(lowest, spec.out_channels))
+    measurements = runner.measure_many(spec, counts + [spec.out_channels])
+    baseline = measurements[-1].median_time_ms
+    best = min(measurement.median_time_ms for measurement in measurements[:-1])
     return baseline / best
 
 
@@ -111,11 +110,10 @@ def worst_slowdown_at_distance(
     """
 
     spec = ref.spec
-    baseline = runner.measure(spec).median_time_ms
-    worst = max(
-        runner.measure(spec, channels).median_time_ms
-        for channels in range(max(1, spec.out_channels - distance), spec.out_channels)
-    )
+    counts = list(range(max(1, spec.out_channels - distance), spec.out_channels))
+    measurements = runner.measure_many(spec, counts + [spec.out_channels])
+    baseline = measurements[-1].median_time_ms
+    worst = max(measurement.median_time_ms for measurement in measurements[:-1])
     return worst / baseline
 
 

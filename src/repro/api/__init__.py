@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         PruningRequest,
         RequestError,
     )
-    from .session import CacheStats, Session
+    from .session import DEFAULT_MAX_CACHE_ENTRIES, CacheStats, Session, SweepTable
     from .target import (
         DEFAULT_TARGET_RUNS,
         Target,
@@ -53,6 +53,8 @@ _LAZY_ATTRS = {
     "iter_all_targets": "target",
     "Session": "session",
     "CacheStats": "session",
+    "SweepTable": "session",
+    "DEFAULT_MAX_CACHE_ENTRIES": "session",
     "PruningRequest": "pipeline",
     "PruningReport": "pipeline",
     "ComparisonReport": "pipeline",
@@ -63,6 +65,7 @@ _LAZY_ATTRS = {
 __all__ = [
     "CacheStats",
     "ComparisonReport",
+    "DEFAULT_MAX_CACHE_ENTRIES",
     "DEFAULT_TARGET_RUNS",
     "PruningReport",
     "PruningRequest",
@@ -71,6 +74,7 @@ __all__ = [
     "RequestError",
     "STRATEGIES",
     "Session",
+    "SweepTable",
     "Target",
     "TargetError",
     "TargetLike",

@@ -20,8 +20,9 @@ would compute for the same parameters.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.accuracy_model import AccuracyModel
 from ..core.criteria import CRITERIA, ImportanceCriterion
@@ -32,8 +33,18 @@ from ..models.layers import ConvLayerSpec
 from ..models.zoo import MODELS
 from ..profiling.latency_table import LatencyTable, build_latency_table
 from ..profiling.runner import ProfileRunner
+from ..profiling.store import ProfileStore
 from .pipeline import ComparisonReport, PruningReport, PruningRequest
 from .target import Target, TargetLike
+
+#: Default bound on cached layer profiles.  Profiling the full model zoo
+#: on the paper's four targets needs well under a thousand entries, so
+#: the default keeps every realistic workload fully cached while
+#: guaranteeing that a long-lived service cannot grow without limit.
+DEFAULT_MAX_CACHE_ENTRIES = 1024
+
+#: Anything :class:`Session` accepts as a profile store.
+StoreLike = Union[ProfileStore, str, Path, None]
 
 
 @dataclass
@@ -63,29 +74,115 @@ _TargetKey = Tuple[str, str, int]
 _ProfileKey = Tuple[_TargetKey, ConvLayerSpec, Tuple[int, ...]]
 
 
+@dataclass(frozen=True)
+class SweepTable:
+    """Tidy result of :meth:`Session.sweep`: one row per measured point.
+
+    ``rows`` is a flat, plotting/serialization-ready list of dicts with
+    the columns ``target``, ``device``, ``library``, ``layer``,
+    ``out_channels`` and ``median_time_ms`` — the figure-comparison
+    shape (same layers, several targets side by side).  ``profiles``
+    keeps the full :class:`LayerProfile` (latency table + staircase
+    analysis) per (target, layer) for the analyses that need more than
+    the raw series.
+    """
+
+    targets: Tuple[Target, ...]
+    layer_names: Tuple[str, ...]
+    rows: Tuple[Dict[str, Any], ...]
+    profiles: Dict[Tuple[Target, str], LayerProfile] = field(hash=False)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def profile(self, target: TargetLike, layer_name: str) -> LayerProfile:
+        """The cached profile of one layer on one target."""
+
+        return self.profiles[(Target.of(target), layer_name)]
+
+    def for_target(self, target: TargetLike) -> List[Dict[str, Any]]:
+        """The rows belonging to one target, in layer/channel order."""
+
+        label = Target.of(target).label
+        return [row for row in self.rows if row["target"] == label]
+
+    def series(self, target: TargetLike, layer_name: str) -> Tuple[List[int], List[float]]:
+        """(channel counts, median times) of one layer on one target."""
+
+        return self.profile(target, layer_name).table.as_series()
+
+    def baseline_times_ms(self) -> Dict[str, Dict[str, float]]:
+        """Unpruned latency per target label and layer (the comparison table)."""
+
+        return {
+            target.label: {
+                name: self.profiles[(target, name)].original_time_ms
+                for name in self.layer_names
+            }
+            for target in self.targets
+        }
+
+    def format(self) -> str:
+        """Render the per-target baseline comparison as fixed-width text."""
+
+        width = max(12, max((len(name) for name in self.layer_names), default=0) + 1)
+        label_width = max(len(target.label) for target in self.targets) + 1
+        lines = [
+            " " * label_width
+            + "".join(f"{name:>{width}}" for name in self.layer_names)
+        ]
+        for target in self.targets:
+            cells = "".join(
+                f"{self.profiles[(target, name)].original_time_ms:>{width}.3f}"
+                for name in self.layer_names
+            )
+            lines.append(f"{target.label:<{label_width}}" + cells)
+        return "\n".join(lines)
+
+
 class Session:
     """Shared profiling cache plus the request/report pruning pipeline.
 
     Parameters
     ----------
     max_cache_entries:
-        Upper bound on cached layer profiles; the least recently used
-        profile is evicted beyond it.  ``None`` (the default) means
-        unbounded — a full model-zoo profile over the paper's four
-        targets fits comfortably in memory.
+        Upper bound on cached layer profiles, ``1024``
+        (:data:`DEFAULT_MAX_CACHE_ENTRIES`) by default.  When the bound
+        is exceeded the least recently used profile is evicted (and
+        counted in :attr:`CacheStats.evictions`); recently used profiles
+        are refreshed on every hit.  Pass ``None`` to opt in to an
+        unbounded cache explicitly.
+    store:
+        Optional persistent profile store — a
+        :class:`~repro.profiling.store.ProfileStore` or a path to its
+        JSON-lines file.  Measurements are read from the store before
+        touching the simulator and written back after fresh sweeps, so
+        repeated processes (e.g. CLI invocations with
+        ``--profile-store``) reuse each other's profiles.
     """
 
-    def __init__(self, max_cache_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_cache_entries: Optional[int] = DEFAULT_MAX_CACHE_ENTRIES,
+        store: StoreLike = None,
+    ) -> None:
         if max_cache_entries is not None and max_cache_entries < 1:
             raise ValueError(
                 f"max_cache_entries must be None or >= 1, got {max_cache_entries}"
             )
         self.max_cache_entries = max_cache_entries
+        self._store = self._coerce_store(store)
         self._profiles: "OrderedDict[_ProfileKey, LayerProfile]" = OrderedDict()
         self._runners: Dict[_TargetKey, ProfileRunner] = {}
         self._pruners: Dict[Tuple[_TargetKey, str], PerformanceAwarePruner] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = CacheStats()
+
+    @staticmethod
+    def _coerce_store(store: StoreLike) -> Optional[ProfileStore]:
+        if store is None or isinstance(store, ProfileStore):
+            return store
+        return ProfileStore(store)
 
     # ------------------------------------------------------------------
     # Cache bookkeeping
@@ -95,6 +192,32 @@ class Session:
         """Live hit/miss/eviction counters of the profile cache."""
 
         return self._stats
+
+    @property
+    def store(self) -> Optional[ProfileStore]:
+        """The persistent profile store backing this session, if any."""
+
+        return self._store
+
+    def set_store(self, store: StoreLike) -> None:
+        """Attach (or detach) a persistent profile store.
+
+        Existing per-target runners are rewired so measurements made
+        from now on read from and write to the new store.
+        """
+
+        self._store = self._coerce_store(store)
+        for runner in self._runners.values():
+            runner.store = self._store
+
+    def simulation_count(self) -> int:
+        """Configurations actually simulated by this session's runners.
+
+        Cache and profile-store hits do not count; a fully store-served
+        session reports zero.
+        """
+
+        return sum(runner.simulations for runner in self._runners.values())
 
     def cache_size(self) -> int:
         return len(self._profiles)
@@ -112,6 +235,23 @@ class Session:
     def _target_key(target: Target) -> _TargetKey:
         return (target.device, target.library, target.runs)
 
+    @staticmethod
+    def _as_target_list(targets: Union[TargetLike, Iterable[TargetLike]]) -> List[Target]:
+        """Accept one target-like value or an iterable of them.
+
+        A bare ``(device, library[, runs])`` name tuple is one target;
+        any other iterable is a collection of target-like values.
+        """
+
+        if isinstance(targets, (Target, str, dict)):
+            return [Target.of(targets)]
+        seq = list(targets)
+        if 2 <= len(seq) <= 3 and all(
+            isinstance(item, str) and "@" not in item for item in seq[:2]
+        ):
+            return [Target.of(tuple(seq))]
+        return [Target.of(item) for item in seq]
+
     # ------------------------------------------------------------------
     # Resolution
     # ------------------------------------------------------------------
@@ -121,7 +261,7 @@ class Session:
         target = Target.of(target)
         key = self._target_key(target)
         if key not in self._runners:
-            self._runners[key] = ProfileRunner.for_target(target)
+            self._runners[key] = ProfileRunner.for_target(target, store=self._store)
         return self._runners[key]
 
     def network(self, model: str) -> Network:
@@ -266,6 +406,66 @@ class Session:
             for index in indices
         }
 
+    def sweep(
+        self,
+        targets: Union[TargetLike, Iterable[TargetLike]],
+        layers: Union[ConvLayerSpec, Iterable[ConvLayerSpec]],
+        channel_counts: Optional[Iterable[int]] = None,
+        sweep_step: int = 1,
+    ) -> SweepTable:
+        """Fan one layer set across several targets (the figure-comparison scenario).
+
+        Every (target, layer) pair is profiled — through the profile
+        cache, the batched runner and the profile store, so repeats are
+        free — and the result comes back as a tidy :class:`SweepTable`:
+        one row per measured (target, layer, channel count) point, plus
+        the full per-pair profiles for staircase analysis.
+        """
+
+        resolved = self._as_target_list(targets)
+        specs = [layers] if isinstance(layers, ConvLayerSpec) else list(layers)
+        if not resolved:
+            raise ValueError("sweep needs at least one target")
+        if not specs:
+            raise ValueError("sweep needs at least one layer")
+        by_name: Dict[str, ConvLayerSpec] = {}
+        for spec in specs:
+            # Profiles are keyed by layer name; two different specs under
+            # one name would silently shadow each other in the table.
+            if by_name.setdefault(spec.name, spec) != spec:
+                raise ValueError(
+                    f"sweep got two different layer specs named {spec.name!r}"
+                )
+        specs = list(by_name.values())
+        counts = list(channel_counts) if channel_counts is not None else None
+
+        rows: List[Dict[str, Any]] = []
+        profiles: Dict[Tuple[Target, str], LayerProfile] = {}
+        for target in resolved:
+            for spec in specs:
+                profile = self.profile_layer(
+                    target, spec, channel_counts=counts, sweep_step=sweep_step
+                )
+                profiles[(target, spec.name)] = profile
+                measured_counts, times = profile.table.as_series()
+                rows.extend(
+                    {
+                        "target": target.label,
+                        "device": target.device,
+                        "library": target.library,
+                        "layer": spec.name,
+                        "out_channels": count,
+                        "median_time_ms": time_ms,
+                    }
+                    for count, time_ms in zip(measured_counts, times)
+                )
+        return SweepTable(
+            targets=tuple(resolved),
+            layer_names=tuple(dict.fromkeys(spec.name for spec in specs)),
+            rows=tuple(rows),
+            profiles=profiles,
+        )
+
     # ------------------------------------------------------------------
     # The request/report pipeline
     # ------------------------------------------------------------------
@@ -316,4 +516,4 @@ class Session:
         )
 
 
-__all__ = ["CacheStats", "Session"]
+__all__ = ["DEFAULT_MAX_CACHE_ENTRIES", "CacheStats", "Session", "SweepTable"]

@@ -174,11 +174,14 @@ class PerformanceAwarePruner:
         key = (spec.name, spec.out_channels, sweep_step)
         if key in self._profiles and channel_counts is None:
             return self._profiles[key]
-        counts = (
-            list(channel_counts)
-            if channel_counts is not None
-            else list(range(1, spec.out_channels + 1, sweep_step))
-        )
+        if channel_counts is not None:
+            counts = list(channel_counts)
+            if not counts:
+                raise OptimizationError(
+                    f"{spec.name}: cannot profile an empty channel sweep"
+                )
+        else:
+            counts = list(range(1, spec.out_channels + 1, sweep_step))
         if spec.out_channels not in counts:
             counts.append(spec.out_channels)
         table = build_latency_table(self.runner, spec, sorted(set(counts)))

@@ -48,7 +48,9 @@ class ExperimentResult:
 
 #: One session shared by every experiment generator: sweeps over twenty
 #: figures reuse layer measurements instead of re-profiling per figure.
-_SESSION = Session()
+#: Unbounded cache: a full ``all`` run profiles every figure's layers and
+#: must keep them hot for the later figures.
+_SESSION = Session(max_cache_entries=None)
 
 
 def default_session() -> Session:
@@ -57,16 +59,34 @@ def default_session() -> Session:
     return _SESSION
 
 
+def reset_default_session(store=None) -> Session:
+    """Replace the shared session (used between independent CLI runs/tests)."""
+
+    global _SESSION
+    _SESSION = Session(max_cache_entries=None, store=store)
+    return _SESSION
+
+
+def set_default_profile_store(store) -> None:
+    """Attach (or with ``None`` detach) the shared session's profile store.
+
+    ``store`` is a :class:`~repro.profiling.store.ProfileStore` or a
+    path to its JSON-lines file (the CLI's ``--profile-store`` flag).
+    """
+
+    default_session().set_store(store)
+
+
 def make_runner(device: str, library: str, runs: int = 5) -> ProfileRunner:
     """Shared (memoising) profile runner for a (device, library) pair."""
 
-    return _SESSION.runner(Target(device, library, runs=runs))
+    return default_session().runner(Target(device, library, runs=runs))
 
 
 def resnet_layer(index: int) -> ConvLayerRef:
     """A profiled ResNet-50 layer reference by paper index."""
 
-    return _SESSION.network("resnet50").conv_layer(index)
+    return default_session().network("resnet50").conv_layer(index)
 
 
 def heatmap_experiment(
@@ -128,7 +148,7 @@ def sweep_experiment(
 ) -> ExperimentResult:
     """Build a latency-vs-channels sweep experiment (the line figures)."""
 
-    ref = _SESSION.network(model).conv_layer(layer_index)
+    ref = default_session().network(model).conv_layer(layer_index)
     runner = make_runner(device, library, runs=runs)
     counts = list(range(min_channels, ref.spec.out_channels + 1, step))
     counts.extend(extra_channels)
@@ -169,6 +189,8 @@ __all__ = [
     "default_session",
     "heatmap_experiment",
     "make_runner",
+    "reset_default_session",
     "resnet_layer",
+    "set_default_profile_store",
     "sweep_experiment",
 ]

@@ -52,6 +52,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
     parser.add_argument(
+        "--profile-store",
+        metavar="PATH",
+        help=(
+            "persist layer measurements to a JSON-lines file and reuse them "
+            "across invocations (a repeated experiment re-simulates nothing)"
+        ),
+    )
+    parser.add_argument(
         "--markdown",
         metavar="PATH",
         help="also write a paper-vs-measured markdown report",
@@ -106,6 +114,13 @@ def run_many(experiment_ids: Iterable[str], fast: bool = False) -> List[Experime
 def main(argv: List[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    # Attach (or, when the flag is absent, detach) the persistent store:
+    # each invocation owns the shared session's store configuration, so a
+    # prior programmatic call's store cannot leak into this run.
+    from .base import set_default_profile_store
+
+    set_default_profile_store(args.profile_store or None)
 
     if len(args.experiments) == 1 and args.experiments[0].lower() == "list":
         for experiment_id in available_experiments():

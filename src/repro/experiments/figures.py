@@ -17,13 +17,20 @@ from ..analysis.speedup import (
     PAPER_PRUNE_DISTANCES,
     TVM_PRUNE_DISTANCES,
 )
-from ..core.staircase import analyze_table, cluster_levels
+from ..analysis.curves import curve_from_table
+from ..api.target import Target
+from ..core.staircase import cluster_levels
 from ..gpusim.metrics import relative_system_counters
 from ..gpusim.simulator import GpuSimulator
 from ..gpusim.device import DEVICES
 from ..libraries.base import LIBRARIES
-from ..profiling.latency_table import LatencyTable
-from .base import ExperimentResult, heatmap_experiment, resnet_layer, sweep_experiment
+from .base import (
+    ExperimentResult,
+    default_session,
+    heatmap_experiment,
+    resnet_layer,
+    sweep_experiment,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -280,35 +287,50 @@ def fig05(runs: int = 5, step: int = 1) -> ExperimentResult:
 
 
 def fig07(runs: int = 5, step: int = 1) -> ExperimentResult:
-    """Figure 7: the same staircase on the Jetson Nano (ResNet-50 L14)."""
+    """Figure 7: the same staircase on the Jetson Nano (ResNet-50 L14).
 
-    result = sweep_experiment(
-        "fig07",
-        "cuDNN staircase on the Jetson Nano (ResNet-50 L14)",
-        "The Nano shows the same pattern as the TX2, scaled by its lower "
-        "compute throughput (similar GPU architectures).",
-        layer_index=14,
-        library="cudnn",
-        device="jetson-nano",
-        runs=runs,
-        step=step,
+    The comparison fans one layer across both Jetson targets through
+    :meth:`repro.api.Session.sweep`, which batches and caches the two
+    channel sweeps and returns them as one tidy table.
+    """
+
+    ref = resnet_layer(14)
+    nano = Target("jetson-nano", "cudnn", runs=runs)
+    tx2 = Target("jetson-tx2", "cudnn", runs=runs)
+    table = default_session().sweep((nano, tx2), ref.spec, sweep_step=step)
+    curve = curve_from_table(table.profile(nano, ref.spec.name).table, ref.label)
+    tx2_curve = curve_from_table(table.profile(tx2, ref.spec.name).table, ref.label)
+
+    fast, slow, gap = curve.largest_adjacent_gap()
+    measured = {
+        "min_time_ms": curve.min_time_ms,
+        "max_time_ms": curve.max_time_ms,
+        "spread": curve.spread,
+        "largest_adjacent_gap": gap,
+        "nano_vs_tx2_scaling": curve.max_time_ms / tx2_curve.max_time_ms,
+    }
+    data = {
+        "layer": ref.label,
+        "device": curve.device_name,
+        "library": curve.library_name,
+        "channel_counts": list(curve.channel_counts),
+        "times_ms": list(curve.times_ms),
+        "largest_gap": {"fast_channels": fast, "slow_channels": slow, "ratio": gap},
+        "tx2_reference_max_ms": tx2_curve.max_time_ms,
+        "per_target_rows": list(table.rows),
+    }
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="cuDNN staircase on the Jetson Nano (ResNet-50 L14)",
+        description=(
+            "The Nano shows the same pattern as the TX2, scaled by its lower "
+            "compute throughput (similar GPU architectures)."
+        ),
+        data=data,
+        text=curve.format(),
+        measured=measured,
+        paper={"nano_vs_tx2_scaling": 3.5},
     )
-    tx2 = sweep_experiment(
-        "fig07-tx2-reference",
-        "TX2 reference for Figure 7",
-        "",
-        layer_index=14,
-        library="cudnn",
-        device="jetson-tx2",
-        runs=runs,
-        step=max(step, 8),
-    )
-    nano_max = result.measured["max_time_ms"]
-    tx2_max = tx2.measured["max_time_ms"]
-    result.measured["nano_vs_tx2_scaling"] = nano_max / tx2_max
-    result.paper["nano_vs_tx2_scaling"] = 3.5
-    result.data["tx2_reference_max_ms"] = tx2_max
-    return result
 
 
 def fig12(runs: int = 5, step: int = 1) -> ExperimentResult:

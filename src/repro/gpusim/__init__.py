@@ -16,6 +16,7 @@ from .device import (
     available_devices,
     get_device,
 )
+from .batch import BatchSimulationResult, simulate_batch
 from .kernel import Kernel, KernelPlan, KernelPlanError, WorkgroupSize
 from .metrics import (
     KernelInstructionRow,
@@ -34,6 +35,7 @@ from .simulator import (
 )
 
 __all__ = [
+    "BatchSimulationResult",
     "DEVICES",
     "HIKEY_970",
     "JETSON_NANO",
@@ -58,4 +60,5 @@ __all__ = [
     "get_device",
     "kernel_instruction_table",
     "relative_system_counters",
+    "simulate_batch",
 ]

@@ -3,28 +3,45 @@
 For cached cross-call profiling, prefer :meth:`repro.api.Session.profile_layer`
 (the canonical entry point) over driving :class:`ProfileRunner` directly;
 ``ProfileRunner.for_target`` builds a runner from a :class:`repro.api.Target`.
+Sweeps go through the vectorized batch path
+(:meth:`ProfileRunner.measure_many`), and a :class:`ProfileStore` makes
+measurements persistent across processes.
 """
 
 from .events import KernelEvent, ProfiledRun
-from .latency_table import LatencyTable, build_latency_table, prune_distances
+from .latency_table import (
+    LatencyTable,
+    LatencyTableError,
+    build_latency_table,
+    prune_distances,
+)
 from .profilers import (
     CudaEventProfiler,
     OpenCLProfiler,
+    noise_factors,
     profile_runs,
     profiler_for_device,
 )
-from .runner import DEFAULT_RUNS, Measurement, ProfileRunner
+from .runner import DEFAULT_RUNS, Measurement, MeasurementError, ProfileRunner
+from .store import STORE_VERSION, ProfileStore, ProfileStoreError, layer_spec_fingerprint
 
 __all__ = [
     "CudaEventProfiler",
     "DEFAULT_RUNS",
     "KernelEvent",
     "LatencyTable",
+    "LatencyTableError",
     "Measurement",
+    "MeasurementError",
     "OpenCLProfiler",
-    "ProfiledRun",
     "ProfileRunner",
+    "ProfileStore",
+    "ProfileStoreError",
+    "ProfiledRun",
+    "STORE_VERSION",
     "build_latency_table",
+    "layer_spec_fingerprint",
+    "noise_factors",
     "profile_runs",
     "profiler_for_device",
     "prune_distances",

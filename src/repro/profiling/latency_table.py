@@ -16,6 +16,10 @@ from ..models.layers import ConvLayerSpec
 from .runner import Measurement, ProfileRunner
 
 
+class LatencyTableError(ValueError):
+    """Raised when a latency table is queried or built without measurements."""
+
+
 @dataclass
 class LatencyTable:
     """Latency of a single layer as a function of its channel count."""
@@ -42,14 +46,23 @@ class LatencyTable:
     def __contains__(self, out_channels: int) -> bool:
         return out_channels in self.entries
 
+    def _require_entries(self) -> None:
+        if not self.entries:
+            raise LatencyTableError(
+                f"latency table for layer {self.layer_name!r} "
+                f"({self.library_name} on {self.device_name}) has no measurements"
+            )
+
     @property
     def channel_counts(self) -> List[int]:
         """Measured channel counts, ascending."""
 
+        self._require_entries()
         return sorted(self.entries)
 
     @property
     def max_channels(self) -> int:
+        self._require_entries()
         return max(self.entries)
 
     def time_ms(self, out_channels: int) -> float:
@@ -105,17 +118,22 @@ def build_latency_table(
 
     if not isinstance(runner, ProfileRunner):
         runner = ProfileRunner.for_target(runner)
-    table = LatencyTable(
-        layer_name=layer.name,
-        device_name=runner.device.name,
-        library_name=runner.library.name,
-    )
     counts = (
         list(channel_counts)
         if channel_counts is not None
         else list(range(1, layer.out_channels + 1))
     )
-    for measurement in runner.measure_channels(layer, counts):
+    if not counts:
+        raise LatencyTableError(
+            f"cannot build a latency table for layer {layer.name!r} "
+            f"from an empty channel sweep"
+        )
+    table = LatencyTable(
+        layer_name=layer.name,
+        device_name=runner.device.name,
+        library_name=runner.library.name,
+    )
+    for measurement in runner.measure_many(layer, counts):
         table.add_measurement(measurement)
     return table
 

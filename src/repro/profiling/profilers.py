@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List
 
 import numpy as np
 
@@ -28,13 +28,79 @@ MEASUREMENT_NOISE_STD = 0.02
 _BYTES_PER_ELEMENT = 4
 
 
-def _noise_factor(seed_material: str, run_index: int) -> float:
-    """Deterministic noise factor close to 1.0 for a given run."""
+def noise_material(device: DeviceSpec, plan: KernelPlan) -> str:
+    """Seed material identifying one measured configuration.
 
-    digest = hashlib.sha256(f"{seed_material}#{run_index}".encode("utf-8")).digest()
-    seed = int.from_bytes(digest[:8], "little")
-    rng = np.random.default_rng(seed)
-    return float(1.0 + MEASUREMENT_NOISE_STD * rng.standard_normal())
+    Both the scalar profilers and the batched measurement path derive
+    their noise from this string, so a configuration measured either way
+    sees the same deterministic perturbations.
+    """
+
+    return f"{device.name}/{plan.library}/{plan.layer_name}/{plan.notes}"
+
+
+#: splitmix64 constants (Steele et al., "Fast splittable pseudorandom
+#: number generators") — a counter-based generator whose draws are pure
+#: integer mixing, so whole (configuration x run) matrices vectorize.
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, elementwise over a uint64 array."""
+
+    z = (x ^ (x >> np.uint64(30))) * _SPLITMIX_MUL1
+    z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_MUL2
+    return z ^ (z >> np.uint64(31))
+
+
+def _seed_of(seed_material: str) -> np.uint64:
+    digest = hashlib.sha256(seed_material.encode("utf-8")).digest()
+    return np.uint64(int.from_bytes(digest[:8], "little"))
+
+
+def _factors_from_seeds(seeds: np.ndarray, runs: int) -> np.ndarray:
+    """(len(seeds), runs) noise factor matrix from per-configuration seeds.
+
+    Two counter-derived uniforms per run are turned into a standard
+    normal via Box-Muller; run ``i`` of a configuration depends only on
+    (seed, i), so any prefix of the run sequence is stable.
+    """
+
+    counters = np.arange(1, 2 * runs + 1, dtype=np.uint64)
+    mixed = _splitmix64(seeds[:, np.newaxis] + _SPLITMIX_GAMMA * counters)
+    # Top 53 bits, shifted into (0, 1] so the log below is always finite.
+    uniform = ((mixed >> np.uint64(11)).astype(np.float64) + 1.0) * 2.0**-53
+    u1, u2 = uniform[:, 0::2], uniform[:, 1::2]
+    normal = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+    return 1.0 + MEASUREMENT_NOISE_STD * normal
+
+
+def noise_factors(seed_material: str, runs: int) -> np.ndarray:
+    """Deterministic noise factors close to 1.0 for ``runs`` repetitions."""
+
+    return _factors_from_seeds(np.array([_seed_of(seed_material)]), runs)[0]
+
+
+def noise_matrix(seed_materials: Iterable[str], runs: int) -> np.ndarray:
+    """Noise factors for many configurations at once, one row each.
+
+    Row ``i`` equals ``noise_factors(seed_materials[i], runs)``; the
+    batched measurement path uses this to perturb a whole sweep in one
+    array operation.
+    """
+
+    seeds = np.array([_seed_of(material) for material in seed_materials], dtype=np.uint64)
+    if not len(seeds):
+        return np.zeros((0, runs))
+    return _factors_from_seeds(seeds, runs)
+
+
+def _noise_factor(seed_material: str, run_index: int) -> float:
+    """Deterministic noise factor of one run (the scalar profilers' view)."""
+
+    return float(noise_factors(seed_material, run_index + 1)[-1])
 
 
 @dataclass
@@ -51,9 +117,7 @@ class _ProfilerBase:
         """Execute one run of a plan and record kernel events."""
 
         result = self.simulator.simulate(plan)
-        noise = _noise_factor(
-            f"{self.device.name}/{plan.library}/{plan.layer_name}/{plan.notes}", run_index
-        )
+        noise = _noise_factor(noise_material(self.device, plan), run_index)
         return self._build_run(result, noise)
 
     def _build_run(self, result: SimulationResult, noise: float) -> ProfiledRun:

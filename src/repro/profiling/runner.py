@@ -3,32 +3,49 @@
 ``ProfileRunner`` is the reproduction of the paper's measurement
 protocol (Section III-D): for each (device, library, layer, channel
 count) configuration, run the layer several times and report the median.
-Results are memoised so that sweeps over thousands of configurations —
-the heatmap experiments profile every pruning level of every layer —
-stay cheap.
+
+Sweeps are batched: :meth:`ProfileRunner.measure_many` plans every
+requested channel count, costs all of them in one vectorized
+:func:`~repro.gpusim.batch.simulate_batch` call and applies the
+repetition noise as a single array operation, so a full staircase sweep
+is one NumPy pass instead of ``channels x runs`` scalar simulations.
+Results are memoised in-process and — when a
+:class:`~repro.profiling.store.ProfileStore` is attached — persisted
+across processes.
 """
 
 from __future__ import annotations
 
-import statistics
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from ..gpusim.batch import simulate_batch
 from ..gpusim.device import DEVICES, DeviceSpec
-from ..gpusim.kernel import KernelPlan
 from ..libraries.base import LIBRARIES, ConvolutionLibrary
 from ..models.layers import ConvLayerSpec
-from .events import ProfiledRun
-from .profilers import profile_runs
+from .profilers import noise_material, noise_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.target import Target
+    from .store import ProfileStore
 
 #: Number of repetitions per configuration (the paper reports the median
 #: of 10 runs).
 DEFAULT_RUNS = 10
+
+#: Default bound on memoised measurements per runner.  At ~200 bytes per
+#: measurement this caps a runner's cache in the tens of megabytes while
+#: holding far more configurations than the full model zoo sweeps need.
+DEFAULT_MEASUREMENT_CACHE_ENTRIES = 65536
+
+
+class MeasurementError(ValueError):
+    """Raised when a measurement is structurally invalid."""
 
 
 @dataclass(frozen=True)
@@ -45,23 +62,76 @@ class Measurement:
     runs: int
     job_count: int
 
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise MeasurementError(
+                f"{self.layer_name}: a measurement needs at least one run, got {self.runs}"
+            )
+        if self.min_time_ms <= 0:
+            # A zero-time run would make ``spread`` infinite and poison
+            # every downstream stability report; reject it at the source.
+            raise MeasurementError(
+                f"{self.layer_name} at {self.out_channels} channels: non-positive "
+                f"minimum run time {self.min_time_ms} ms"
+            )
+        if not self.min_time_ms <= self.median_time_ms <= self.max_time_ms:
+            raise MeasurementError(
+                f"{self.layer_name} at {self.out_channels} channels: inconsistent "
+                f"run times (min={self.min_time_ms}, median={self.median_time_ms}, "
+                f"max={self.max_time_ms})"
+            )
+
     @property
     def spread(self) -> float:
-        """Max/min ratio across the repeated runs (measurement stability)."""
+        """Max/min ratio across the repeated runs (measurement stability).
 
-        if self.min_time_ms == 0:
-            return float("inf")
+        Always finite: construction rejects non-positive run times.
+        """
+
         return self.max_time_ms / self.min_time_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (the profile store's line format)."""
+
+        return {
+            "layer_name": self.layer_name,
+            "out_channels": self.out_channels,
+            "device_name": self.device_name,
+            "library_name": self.library_name,
+            "median_time_ms": self.median_time_ms,
+            "min_time_ms": self.min_time_ms,
+            "max_time_ms": self.max_time_ms,
+            "runs": self.runs,
+            "job_count": self.job_count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Measurement":
+        return cls(**payload)
 
 
 @dataclass
 class ProfileRunner:
-    """Measure layer latencies on a (device, library) pair with caching."""
+    """Measure layer latencies on a (device, library) pair with caching.
+
+    ``store`` optionally backs the in-memory cache with a persistent
+    :class:`~repro.profiling.store.ProfileStore`; ``simulations`` counts
+    the configurations that actually hit the simulator (cache and store
+    hits do not).  The measurement cache holds at most
+    ``max_cache_entries`` entries (oldest-inserted evicted first; pass
+    ``None`` for unbounded), so a long-lived runner cannot grow without
+    limit.
+    """
 
     device: DeviceSpec
     library: ConvolutionLibrary
     runs: int = DEFAULT_RUNS
-    _cache: Dict[Tuple[str, int], Measurement] = field(default_factory=dict, repr=False)
+    store: Optional["ProfileStore"] = None
+    simulations: int = 0
+    max_cache_entries: Optional[int] = DEFAULT_MEASUREMENT_CACHE_ENTRIES
+    _cache: "OrderedDict[Tuple[str, int], Measurement]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     @classmethod
     def create(cls, device: str, library: str, runs: int = DEFAULT_RUNS) -> "ProfileRunner":
@@ -70,13 +140,16 @@ class ProfileRunner:
         return cls(device=DEVICES.get(device), library=LIBRARIES.create(library), runs=runs)
 
     @classmethod
-    def for_target(cls, target: "Target") -> "ProfileRunner":
+    def for_target(
+        cls, target: "Target", store: Optional["ProfileStore"] = None
+    ) -> "ProfileRunner":
         """Build a runner for a :class:`repro.api.Target`."""
 
         return cls(
             device=target.device_spec,
             library=target.create_library(),
             runs=target.runs,
+            store=store,
         )
 
     # ------------------------------------------------------------------
@@ -91,37 +164,93 @@ class ProfileRunner:
         """Median latency of a layer pruned to ``out_channels`` filters."""
 
         channels = layer.out_channels if out_channels is None else out_channels
-        if channels < 1:
-            raise ValueError(f"out_channels must be >= 1, got {channels}")
         key = self._cache_key(layer, channels)
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        return self.measure_many(layer, [channels])[0]
 
-        plan = self.library.plan_with_channels(layer, channels, self.device)
-        profiled = profile_runs(self.device, plan, runs=self.runs)
-        measurement = self._summarise(layer, channels, plan, profiled)
-        self._cache[key] = measurement
-        return measurement
+    def measure_many(
+        self, layer: ConvLayerSpec, channel_counts: Iterable[int]
+    ) -> List[Measurement]:
+        """Measure the layer at each channel count in one batched pass.
 
-    def _summarise(
-        self,
-        layer: ConvLayerSpec,
-        channels: int,
-        plan: KernelPlan,
-        profiled: List[ProfiledRun],
-    ) -> Measurement:
-        times = [run.total_time_ms for run in profiled]
-        return Measurement(
-            layer_name=layer.name,
-            out_channels=channels,
-            device_name=self.device.name,
-            library_name=self.library.name,
-            median_time_ms=statistics.median(times),
-            min_time_ms=min(times),
-            max_time_ms=max(times),
-            runs=len(times),
-            job_count=plan.job_count,
+        The returned list is aligned with ``channel_counts`` (duplicates
+        included).  Counts already in the in-memory cache or the
+        attached profile store are served from there; only the rest is
+        simulated — in a single vectorized
+        :func:`~repro.gpusim.batch.simulate_batch` call.
+        """
+
+        requested = [int(count) for count in channel_counts]
+        for count in requested:
+            if count < 1:
+                raise ValueError(f"out_channels must be >= 1, got {count}")
+        # Resolve against a local view so results survive even when the
+        # bounded cache evicts entries of this very sweep.
+        resolved: Dict[int, Measurement] = {}
+        missing = []
+        for count in dict.fromkeys(requested):
+            cached = self._cache.get(self._cache_key(layer, count))
+            if cached is not None:
+                resolved[count] = cached
+            else:
+                missing.append(count)
+        if missing and self.store is not None:
+            stored, missing = self.store.lookup(
+                self.device.name, self.library.name, self.runs, layer, missing
+            )
+            for count, measurement in stored.items():
+                resolved[count] = measurement
+                self._remember(layer, count, measurement)
+        if missing:
+            fresh = self._measure_batch(layer, missing)
+            for measurement in fresh:
+                resolved[measurement.out_channels] = measurement
+                self._remember(layer, measurement.out_channels, measurement)
+            if self.store is not None:
+                self.store.record(
+                    self.device.name, self.library.name, self.runs, layer, fresh
+                )
+        return [resolved[count] for count in requested]
+
+    def _remember(self, layer: ConvLayerSpec, count: int, measurement: Measurement) -> None:
+        self._cache[self._cache_key(layer, count)] = measurement
+        if self.max_cache_entries is not None and len(self._cache) > self.max_cache_entries:
+            self._cache.popitem(last=False)
+
+    def _measure_batch(
+        self, layer: ConvLayerSpec, channel_counts: List[int]
+    ) -> List[Measurement]:
+        """Simulate the given channel counts in one vectorized pass."""
+
+        plans = [
+            self.library.plan_with_channels(layer, count, self.device)
+            for count in channel_counts
+        ]
+        batch = simulate_batch(plans, self.device)
+        noise = noise_matrix(
+            (noise_material(self.device, plan) for plan in plans), self.runs
         )
+        times_ms = batch.total_time_ms[:, np.newaxis] * noise
+        medians = np.median(times_ms, axis=1)
+        minima = times_ms.min(axis=1)
+        maxima = times_ms.max(axis=1)
+        self.simulations += len(plans)
+        return [
+            Measurement(
+                layer_name=layer.name,
+                out_channels=count,
+                device_name=self.device.name,
+                library_name=self.library.name,
+                median_time_ms=float(medians[index]),
+                min_time_ms=float(minima[index]),
+                max_time_ms=float(maxima[index]),
+                runs=self.runs,
+                job_count=int(batch.job_counts[index]),
+            )
+            for index, count in enumerate(channel_counts)
+        ]
 
     # ------------------------------------------------------------------
     def measure_channels(
@@ -129,7 +258,7 @@ class ProfileRunner:
     ) -> List[Measurement]:
         """Measure the layer at each of the given channel counts."""
 
-        return [self.measure(layer, channels) for channels in channel_counts]
+        return self.measure_many(layer, channel_counts)
 
     def sweep(
         self,
@@ -148,7 +277,7 @@ class ProfileRunner:
         counts = list(range(min_channels, upper + 1, step))
         if counts and counts[-1] != upper:
             counts.append(upper)
-        return self.measure_channels(layer, counts)
+        return self.measure_many(layer, counts)
 
     def cache_size(self) -> int:
         return len(self._cache)

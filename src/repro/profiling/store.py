@@ -1,0 +1,226 @@
+"""Persistent on-disk profile store: measurements that outlive the process.
+
+Every profile used to die with the Python process, so each CLI
+invocation and every experiment script re-simulated thousands of
+(device, library, layer, channel count) configurations from scratch.
+:class:`ProfileStore` persists :class:`~repro.profiling.runner.Measurement`
+records to a JSON-lines file so that repeated invocations reuse them:
+a :class:`~repro.api.Session` built with ``store=PATH`` (or the
+``repro-experiments --profile-store PATH`` flag) reads existing
+measurements before touching the simulator and appends whatever it had
+to measure fresh.
+
+File format
+-----------
+One JSON object per line, append-only.  Each line records one measured
+sweep under its grouping key::
+
+    {"v": 1, "device": "mali-g72", "library": "acl-gemm", "runs": 3,
+     "spec": {...layer spec fields...}, "spec_hash": "4f0c...",
+     "sweep": [1, 2, ...], "measurements": [{...}, ...]}
+
+* ``v`` is :data:`STORE_VERSION`.  Lines written by an incompatible
+  store (or by a build with a different measurement-noise model, which
+  bumps the version) are skipped on load — stale entries invalidate
+  themselves and are simply re-measured and re-appended.
+* The grouping key is ``(device, library, runs, spec_hash)`` where
+  ``spec_hash`` fingerprints every latency-relevant layer-spec field
+  *except* ``out_channels`` (the swept quantity).
+* Lines that fail to parse are ignored (a truncated final line from a
+  killed process does not poison the store).
+
+Append-only JSONL keeps concurrent writers safe on POSIX filesystems
+and makes the store trivially inspectable and diff-able.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..models.layers import ConvLayerSpec
+from .runner import Measurement
+
+#: Bump whenever the measurement model changes (simulator cost formulas,
+#: noise model, Measurement schema): old lines are skipped on load.
+STORE_VERSION = 1
+
+_GroupKey = Tuple[str, str, int, str]
+
+
+class ProfileStoreError(ValueError):
+    """Raised for unusable store paths or malformed store operations."""
+
+
+def layer_spec_fingerprint(spec: ConvLayerSpec) -> str:
+    """Stable hash of the latency-relevant spec fields, minus ``out_channels``.
+
+    ``out_channels`` is the swept quantity — measurements at different
+    channel counts of the same base layer share one group.
+    """
+
+    payload = {
+        "name": spec.name,
+        "in_channels": spec.in_channels,
+        "kernel_size": spec.kernel_size,
+        "stride": spec.stride,
+        "padding": spec.padding,
+        "input_hw": spec.input_hw,
+        "groups": spec.groups,
+        "bias": spec.bias,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class ProfileStore:
+    """Append-only JSONL store of measurements, indexed in memory.
+
+    The file is read once, lazily, on first lookup; records appended
+    through :meth:`record` update both the file and the index.  ``hits``
+    / ``misses`` count per-configuration lookups, ``writes`` counts
+    appended measurements.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.exists() and self.path.is_dir():
+            raise ProfileStoreError(f"profile store path {self.path} is a directory")
+        self._index: Optional[Dict[_GroupKey, Dict[int, Measurement]]] = None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.skipped_lines = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> Dict[_GroupKey, Dict[int, Measurement]]:
+        if self._index is not None:
+            return self._index
+        index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+        if self.path.exists():
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        if payload.get("v") != STORE_VERSION:
+                            raise ValueError("incompatible store version")
+                        key = (
+                            payload["device"],
+                            payload["library"],
+                            int(payload["runs"]),
+                            payload["spec_hash"],
+                        )
+                        measurements = [
+                            Measurement(**entry) for entry in payload["measurements"]
+                        ]
+                    except (ValueError, KeyError, TypeError):
+                        self.skipped_lines += 1
+                        continue
+                    group = index.setdefault(key, {})
+                    for measurement in measurements:
+                        group[measurement.out_channels] = measurement
+        self._index = index
+        return index
+
+    def __len__(self) -> int:
+        """Number of stored (configuration -> measurement) entries."""
+
+        return sum(len(group) for group in self._load().values())
+
+    # ------------------------------------------------------------------
+    # Lookup and record
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(device: str, library: str, runs: int, spec: ConvLayerSpec) -> _GroupKey:
+        return (device, library, runs, layer_spec_fingerprint(spec))
+
+    def lookup(
+        self,
+        device: str,
+        library: str,
+        runs: int,
+        spec: ConvLayerSpec,
+        channel_counts: Sequence[int],
+    ) -> Tuple[Dict[int, Measurement], List[int]]:
+        """Split a sweep into (stored measurements, counts still to measure)."""
+
+        group = self._load().get(self._key(device, library, runs, spec), {})
+        found: Dict[int, Measurement] = {}
+        missing: List[int] = []
+        for count in channel_counts:
+            measurement = group.get(count)
+            if measurement is None:
+                missing.append(count)
+            else:
+                found[count] = measurement
+        self.hits += len(found)
+        self.misses += len(missing)
+        return found, missing
+
+    def record(
+        self,
+        device: str,
+        library: str,
+        runs: int,
+        spec: ConvLayerSpec,
+        measurements: Iterable[Measurement],
+    ) -> None:
+        """Append one measured sweep to the store file and the index."""
+
+        measurements = list(measurements)
+        if not measurements:
+            return
+        key = self._key(device, library, runs, spec)
+        payload = {
+            "v": STORE_VERSION,
+            "device": device,
+            "library": library,
+            "runs": runs,
+            "spec": {
+                "name": spec.name,
+                "in_channels": spec.in_channels,
+                "out_channels": spec.out_channels,
+                "kernel_size": spec.kernel_size,
+                "stride": spec.stride,
+                "padding": spec.padding,
+                "input_hw": spec.input_hw,
+                "groups": spec.groups,
+                "bias": spec.bias,
+            },
+            "spec_hash": key[3],
+            "sweep": [measurement.out_channels for measurement in measurements],
+            "measurements": [measurement.as_dict() for measurement in measurements],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+        group = self._load().setdefault(key, {})
+        for measurement in measurements:
+            group[measurement.out_channels] = measurement
+        self.writes += len(measurements)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self),
+            "skipped_lines": self.skipped_lines,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ProfileStore path={str(self.path)!r} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses} writes={self.writes}>"
+        )
+
+
+__all__ = ["STORE_VERSION", "ProfileStore", "ProfileStoreError", "layer_spec_fingerprint"]

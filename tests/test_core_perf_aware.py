@@ -48,6 +48,10 @@ class TestLayerProfiles:
         second = gemm_pruner.profile_layer(layer16, 16)
         assert first is second
 
+    def test_empty_sweep_rejected_up_front(self, gemm_pruner, layer16):
+        with pytest.raises(OptimizationError, match="empty channel sweep"):
+            gemm_pruner.profile_layer(layer16, 16, channel_counts=[])
+
     def test_optimal_counts_are_plateau_edges(self, cudnn_pruner, layer16):
         profile = cudnn_pruner.profile_layer(layer16, 16)
         assert {32, 64, 96, 128}.issubset(set(profile.optimal_channel_counts))
@@ -78,6 +82,40 @@ class TestSingleLayerSelection:
         snapped = gemm_pruner.snap_to_step(layer16, 92)
         assert profile.time_at(snapped) <= profile.time_at(92) * 1.001
         assert snapped >= 92
+
+    def test_snap_with_off_grid_target_on_coarse_sweep(self, gemm_pruner, layer16):
+        """A coarse sweep grid that misses the target still snaps safely.
+
+        91 is off the step-16 grid; the runner measures it directly and
+        the snap may only move to a count at least as fast.
+        """
+
+        snapped = gemm_pruner.snap_to_step(layer16, 91, sweep_step=16)
+        assert 91 <= snapped <= layer16.out_channels
+        target_time = gemm_pruner.runner.measure(layer16, 91).median_time_ms
+        snapped_time = gemm_pruner.runner.measure(layer16, snapped).median_time_ms
+        assert snapped_time <= target_time * 1.001
+
+    def test_snap_plateau_tolerance_boundary(self, gemm_pruner, layer16):
+        """Only counts within the 0.1% plateau tolerance are eligible.
+
+        Every snapped-to candidate must sit within ``target_time * 1.001``
+        — the tolerance that separates "same plateau" from "next step".
+        """
+
+        profile = gemm_pruner.profile_layer(layer16, 16)
+        for target in (40, 60, 90):
+            snapped = gemm_pruner.snap_to_step(layer16, target)
+            target_time = gemm_pruner.runner.measure(layer16, target).median_time_ms
+            if snapped != target:
+                assert snapped in profile.optimal_channel_counts
+                assert profile.time_at(snapped) <= target_time * 1.001
+
+    def test_snap_at_full_width_is_a_noop(self, gemm_pruner, cudnn_pruner, layer16):
+        """target_channels == spec.out_channels cannot move anywhere."""
+
+        assert gemm_pruner.snap_to_step(layer16, layer16.out_channels) == layer16.out_channels
+        assert cudnn_pruner.snap_to_step(layer16, layer16.out_channels) == layer16.out_channels
 
     def test_snap_validates_target(self, gemm_pruner, layer16):
         with pytest.raises(OptimizationError):

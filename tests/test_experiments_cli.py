@@ -47,6 +47,42 @@ class TestCli:
             main(["fig99"])
 
 
+class TestProfileStoreFlag:
+    def test_second_invocation_replays_from_the_store(self, tmp_path, capsys):
+        """With --profile-store a repeated run simulates nothing new."""
+
+        from repro.experiments.base import default_session, reset_default_session
+
+        path = tmp_path / "profiles.jsonl"
+        reset_default_session()
+        try:
+            assert main(["fig04", "--fast", "--profile-store", str(path)]) == 0
+            first = default_session().simulation_count()
+            assert first > 0
+            assert path.exists()
+
+            reset_default_session()  # a fresh process
+            assert main(["fig04", "--fast", "--profile-store", str(path)]) == 0
+            assert default_session().simulation_count() == 0
+        finally:
+            reset_default_session()
+            capsys.readouterr()
+
+    def test_store_does_not_leak_into_later_invocations(self, tmp_path, capsys):
+        from repro.experiments.base import default_session, reset_default_session
+
+        path = tmp_path / "profiles.jsonl"
+        reset_default_session()
+        try:
+            assert main(["table1", "--profile-store", str(path)]) == 0
+            assert default_session().store is not None
+            assert main(["table1"]) == 0
+            assert default_session().store is None
+        finally:
+            reset_default_session()
+            capsys.readouterr()
+
+
 class TestTargetsSubcommand:
     def test_targets_lists_every_device_library_pair(self, capsys):
         from repro.gpusim import DEVICES

@@ -6,6 +6,7 @@ from repro.profiling import (
     CudaEventProfiler,
     KernelEvent,
     LatencyTable,
+    LatencyTableError,
     OpenCLProfiler,
     ProfileRunner,
     build_latency_table,
@@ -175,6 +176,17 @@ class TestLatencyTable:
         table.add(10, 5.0)
         with pytest.raises(KeyError):
             table.time_ms(11)
+
+    def test_empty_table_raises_named_error(self):
+        table = LatencyTable("conv3_2", "d", "lib")
+        with pytest.raises(LatencyTableError, match="conv3_2"):
+            table.max_channels
+        with pytest.raises(LatencyTableError, match="conv3_2"):
+            table.channel_counts
+
+    def test_build_with_empty_sweep_rejected(self, gemm_runner, layer16):
+        with pytest.raises(LatencyTableError, match="empty channel sweep"):
+            build_latency_table(gemm_runner, layer16, channel_counts=[])
 
     def test_build_latency_table(self, gemm_runner, layer16):
         table = build_latency_table(gemm_runner, layer16, channel_counts=[64, 96, 128])

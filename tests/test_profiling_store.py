@@ -1,0 +1,151 @@
+"""Tests for the persistent profile store and measurement serialization."""
+
+import json
+
+import pytest
+
+from repro.models import ConvLayerSpec
+from repro.profiling import (
+    Measurement,
+    MeasurementError,
+    ProfileRunner,
+    ProfileStore,
+    ProfileStoreError,
+    STORE_VERSION,
+    layer_spec_fingerprint,
+)
+
+LAYER = ConvLayerSpec(
+    name="test.store.conv", in_channels=16, out_channels=24,
+    kernel_size=3, stride=1, padding=1, input_hw=14,
+)
+
+
+def make_runner(store=None, runs=3):
+    runner = ProfileRunner.create("hikey-970", "acl-gemm", runs=runs)
+    runner.store = store
+    return runner
+
+
+class TestMeasurementValidation:
+    def make(self, **overrides):
+        payload = dict(
+            layer_name="l", out_channels=8, device_name="d", library_name="lib",
+            median_time_ms=2.0, min_time_ms=1.0, max_time_ms=3.0, runs=3, job_count=1,
+        )
+        payload.update(overrides)
+        return Measurement(**payload)
+
+    def test_valid_measurement_round_trips(self):
+        measurement = self.make()
+        assert Measurement.from_dict(measurement.as_dict()) == measurement
+
+    def test_zero_min_time_rejected(self):
+        with pytest.raises(MeasurementError):
+            self.make(min_time_ms=0.0)
+
+    def test_negative_min_time_rejected(self):
+        with pytest.raises(MeasurementError):
+            self.make(min_time_ms=-1.0)
+
+    def test_inconsistent_ordering_rejected(self):
+        with pytest.raises(MeasurementError):
+            self.make(median_time_ms=5.0)
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(MeasurementError):
+            self.make(runs=0)
+
+    def test_spread_is_always_finite(self):
+        assert self.make().spread == pytest.approx(3.0)
+
+
+class TestFingerprint:
+    def test_out_channels_do_not_change_the_fingerprint(self):
+        assert layer_spec_fingerprint(LAYER) == layer_spec_fingerprint(
+            LAYER.with_out_channels(7)
+        )
+
+    def test_other_fields_change_the_fingerprint(self):
+        assert layer_spec_fingerprint(LAYER) != layer_spec_fingerprint(
+            LAYER.with_in_channels(32)
+        )
+
+
+class TestProfileStore:
+    def test_directory_path_rejected(self, tmp_path):
+        with pytest.raises(ProfileStoreError):
+            ProfileStore(tmp_path)
+
+    def test_record_and_lookup(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles.jsonl")
+        runner = make_runner(store)
+        first = runner.measure_many(LAYER, [4, 8, 12])
+        assert store.writes == 3
+
+        fresh = ProfileStore(tmp_path / "profiles.jsonl")
+        found, missing = fresh.lookup("mali-g72", "acl-gemm", 3, LAYER, [4, 8, 12, 16])
+        assert missing == [16]
+        assert [found[count] for count in (4, 8, 12)] == first
+
+    def test_cross_process_reuse_simulates_nothing(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        make_runner(ProfileStore(path)).measure_many(LAYER, range(1, 25))
+
+        replay = make_runner(ProfileStore(path))
+        replayed = replay.measure_many(LAYER, range(1, 25))
+        assert replay.simulations == 0
+        assert len(replayed) == 24
+
+    def test_runs_are_part_of_the_key(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        make_runner(ProfileStore(path), runs=3).measure(LAYER, 8)
+        other = make_runner(ProfileStore(path), runs=5)
+        other.measure(LAYER, 8)
+        assert other.simulations == 1
+
+    def test_version_mismatch_invalidates_lines(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        make_runner(store).measure(LAYER, 8)
+
+        lines = path.read_text().splitlines()
+        payload = json.loads(lines[0])
+        payload["v"] = STORE_VERSION + 1
+        path.write_text(json.dumps(payload) + "\n")
+
+        stale = ProfileStore(path)
+        found, missing = stale.lookup("mali-g72", "acl-gemm", 3, LAYER, [8])
+        assert found == {} and missing == [8]
+        assert stale.skipped_lines == 1
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        make_runner(store).measure(LAYER, 8)
+        with path.open("a") as handle:
+            handle.write("{truncated json\n")
+
+        fresh = ProfileStore(path)
+        found, _ = fresh.lookup("mali-g72", "acl-gemm", 3, LAYER, [8])
+        assert 8 in found
+        assert fresh.skipped_lines == 1
+
+    def test_stats_and_len(self, tmp_path):
+        store = ProfileStore(tmp_path / "profiles.jsonl")
+        runner = make_runner(store)
+        runner.measure_many(LAYER, [4, 8])
+        runner2 = make_runner(ProfileStore(store.path))
+        runner2.measure_many(LAYER, [4, 8, 12])
+        stats = runner2.store.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert len(runner2.store) == 3
+
+    def test_partial_overlap_simulates_only_missing_counts(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        make_runner(ProfileStore(path)).measure_many(LAYER, [4, 8])
+        runner = make_runner(ProfileStore(path))
+        runner.measure_many(LAYER, [4, 8, 12, 16])
+        assert runner.simulations == 2
