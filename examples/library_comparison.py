@@ -2,11 +2,14 @@
 """Compare how each library responds to channel pruning of the same layer.
 
 Section V of the paper concludes that "no optimal library exists to
-outperform across all neural network layers".  This example sweeps one
-ResNet-50 layer across channel counts on every (device, library) target
-the paper evaluates and reports, for each: the latency at the original
-size, the best achievable speedup, the worst slowdown risked, and how
-many distinct latency levels the staircase has.
+outperform across all neural network layers".  This example describes
+the six-target sweep of one ResNet-50 layer as a declarative
+:class:`Plan` and executes it under the ``batched`` backend — one
+cross-layer simulator batch per target — then reports, for each target:
+the latency at the original size, the best achievable speedup, the
+worst slowdown risked, and how many distinct latency levels the
+staircase has.  (Executors are interchangeable: ``serial`` and
+``process`` produce bitwise-identical tables.)
 
 Run with ``python examples/library_comparison.py [layer_index]``.
 """
@@ -15,7 +18,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.api import Session, Target
+from repro.api import Plan, Session, Target
 
 TARGETS = (
     Target("jetson-tx2", "cudnn", runs=3),
@@ -40,9 +43,12 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
-    # One call fans the layer across every target; each per-target sweep
-    # runs through the batched simulator and the session cache.
-    sweep = session.sweep(TARGETS, spec, sweep_step=2)
+    # One plan step fans the layer across every target; the batched
+    # executor pushes each target's whole sweep through one vectorized
+    # simulator call before the step assembles the table.
+    plan = Plan()
+    step = plan.sweep(TARGETS, spec, sweep_step=2)
+    sweep = session.execute(plan, executor="batched")[step.id]
     for target in TARGETS:
         profile = sweep.profile(target, spec.name)
         _, times = profile.table.as_series()

@@ -11,8 +11,9 @@ layer (the paper's layer 16) using the canonical ``repro.api`` facade:
 3. analyse the staircase and find the step-optimal channel counts,
 4. submit a serializable :class:`PruningRequest` and compare the
    performance-aware strategy with the uninstructed baseline,
-5. persist the profiles to an on-disk store and fan the same layer
-   across several targets with :meth:`Session.sweep`.
+5. describe the multi-target fan-out as a declarative, JSON-round-trip
+   :class:`Plan`, execute it across worker processes, and replay it from
+   an on-disk profile store with zero new simulations.
 
 Run with ``python examples/quickstart.py``.
 """
@@ -22,7 +23,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.api import PruningRequest, Session, Target
+from repro.api import Plan, PruningRequest, Session, Target
 
 
 def main() -> None:
@@ -74,22 +75,25 @@ def main() -> None:
           "dispatched for the GEMM remainder); the performance-aware choice keeps "
           "more channels *and* runs faster.")
 
-    # 5. Persistence and multi-target fan-out.  A Session built with
-    #    store=PATH writes every fresh measurement to a JSON-lines file and
-    #    reads it back in later processes (the CLI flag --profile-store
-    #    does the same); Session.sweep profiles one layer set across
-    #    several targets and returns a tidy per-target table.
+    # 5. Declarative plans, parallel execution and resumability.  A Plan
+    #    is a JSON-serializable job graph (Plan.from_json(plan.to_json())
+    #    == plan, so it can travel to `repro-experiments run-plan` or a
+    #    queue); Session.execute runs it under a pluggable executor —
+    #    "process" fans the measurement workload across worker processes
+    #    and all backends are bitwise identical.  With store=PATH every
+    #    measurement checkpoints to disk, so re-executing the same plan
+    #    (here: a "new process") simulates nothing.
+    plan = Plan()
+    fanout = plan.sweep(
+        [target, Target("jetson-tx2", "cudnn", runs=5)], layer, sweep_step=8
+    )
     with tempfile.TemporaryDirectory() as tmp:
         store_path = Path(tmp) / "profiles.jsonl"
         warm = Session(store=store_path)
-        warm.sweep(
-            [target, Target("jetson-tx2", "cudnn", runs=5)], layer, sweep_step=8
-        )
+        warm.execute(plan, executor="process", jobs=2)
         cold = Session(store=store_path)  # a "new process"
-        sweep = cold.sweep(
-            [target, Target("jetson-tx2", "cudnn", runs=5)], layer, sweep_step=8
-        )
-        print(f"\nSweep across {len(sweep.targets)} targets "
+        sweep = cold.execute(plan, executor="process", jobs=2)[fanout.id]
+        print(f"\nPlan step '{fanout.id}' across {len(sweep.targets)} targets "
               f"({len(sweep)} measured points), replayed from the store with "
               f"{cold.simulation_count()} new simulations:")
         for line in sweep.format().splitlines():

@@ -13,7 +13,10 @@ Most users need exactly four names::
 * :class:`PruningRequest` / :class:`PruningReport` — JSON-serializable
   job and result objects a service can ship verbatim.
 * :class:`Registry` — the one plugin-registry idiom backing the device,
-  library, criterion, model and experiment registries.
+  library, criterion, model, experiment and executor registries.
+* :class:`Plan` + :data:`EXECUTORS` — declarative, JSON-serializable
+  job graphs executed by pluggable backends (``serial``, ``batched``,
+  ``process``) with bitwise-identical, store-checkpointed results.
 
 Attributes are resolved lazily (PEP 562) so that low-level modules can
 import :mod:`repro.api.registry` without dragging in the whole package
@@ -27,6 +30,14 @@ from typing import TYPE_CHECKING
 from .registry import Registry, RegistryError, UnknownPluginError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import (
+        EXECUTORS,
+        BatchedExecutor,
+        ExecutionError,
+        ProcessExecutor,
+        SerialExecutor,
+        UnknownExecutorError,
+    )
     from .pipeline import (
         STRATEGIES,
         ComparisonReport,
@@ -34,11 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         PruningRequest,
         RequestError,
     )
+    from .plan import PLAN_VERSION, STEP_KINDS, Plan, PlanError, Step
     from .session import DEFAULT_MAX_CACHE_ENTRIES, CacheStats, Session, SweepTable
     from .target import (
         DEFAULT_TARGET_RUNS,
         Target,
         TargetError,
+        coerce_targets,
         default_targets,
         iter_all_targets,
     )
@@ -49,6 +62,7 @@ _LAZY_ATTRS = {
     "TargetError": "target",
     "TargetLike": "target",
     "DEFAULT_TARGET_RUNS": "target",
+    "coerce_targets": "target",
     "default_targets": "target",
     "iter_all_targets": "target",
     "Session": "session",
@@ -60,6 +74,17 @@ _LAZY_ATTRS = {
     "ComparisonReport": "pipeline",
     "RequestError": "pipeline",
     "STRATEGIES": "pipeline",
+    "Plan": "plan",
+    "PlanError": "plan",
+    "Step": "plan",
+    "STEP_KINDS": "plan",
+    "PLAN_VERSION": "plan",
+    "EXECUTORS": "executor",
+    "SerialExecutor": "executor",
+    "BatchedExecutor": "executor",
+    "ProcessExecutor": "executor",
+    "ExecutionError": "executor",
+    "UnknownExecutorError": "executor",
 }
 
 __all__ = [
@@ -67,18 +92,30 @@ __all__ = [
     "ComparisonReport",
     "DEFAULT_MAX_CACHE_ENTRIES",
     "DEFAULT_TARGET_RUNS",
+    "EXECUTORS",
+    "ExecutionError",
+    "BatchedExecutor",
+    "PLAN_VERSION",
+    "Plan",
+    "PlanError",
+    "ProcessExecutor",
     "PruningReport",
     "PruningRequest",
     "Registry",
     "RegistryError",
     "RequestError",
+    "STEP_KINDS",
     "STRATEGIES",
+    "SerialExecutor",
     "Session",
+    "Step",
     "SweepTable",
     "Target",
     "TargetError",
     "TargetLike",
+    "UnknownExecutorError",
     "UnknownPluginError",
+    "coerce_targets",
     "default_targets",
     "iter_all_targets",
 ]

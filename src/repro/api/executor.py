@@ -1,0 +1,353 @@
+"""Pluggable execution backends for :class:`~repro.api.plan.Plan` graphs.
+
+A plan says *what* to run; an executor decides *how*.  All backends
+produce bitwise-identical results for the same plan, session seed and
+profile store, because every measurement derives its perturbation from
+the counter-based splitmix64 noise stream keyed on the configuration
+itself (see :mod:`repro.profiling.profilers`) — not on execution order,
+batch composition or process identity.  The backends differ only in how
+the measurement workload reaches the simulator:
+
+``serial``
+    Legacy semantics: steps run in insertion order, each measurement
+    pass per (target, layer) exactly as :class:`~repro.api.Session`
+    always did.
+
+``batched``
+    Each step's whole measurement workload is planned up front and
+    pushed through one cross-layer
+    :meth:`~repro.profiling.runner.ProfileRunner.prefetch` /
+    :func:`~repro.gpusim.batch.simulate_batch` pass per target.
+
+``process``
+    The workload of *all* steps is fanned out across worker processes
+    with :class:`concurrent.futures.ProcessPoolExecutor` — one task per
+    independent (target, layer) sweep — then adopted into the parent
+    session's cache and profile store before the steps run against warm
+    caches.
+
+Executors register in the :data:`EXECUTORS` registry, so third-party
+backends plug in the same way devices and libraries do.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..models.layers import ConvLayerSpec
+from ..profiling.runner import Measurement, ProfileRunner
+from .pipeline import PruningRequest
+from .plan import Plan, Step
+from .registry import Registry, UnknownPluginError
+from .target import Target
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Session
+
+
+class UnknownExecutorError(UnknownPluginError):
+    """Raised when an executor name is not registered."""
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed."""
+
+
+#: The executor registry; ``EXECUTORS.create(name, jobs=...)`` builds a
+#: backend instance.
+EXECUTORS: Registry[type] = Registry("executor", error_cls=UnknownExecutorError)
+
+
+def resolve_executor(executor, jobs: Optional[int] = None):
+    """Coerce a name or instance into an executor object."""
+
+    if isinstance(executor, str):
+        return EXECUTORS.create(executor, jobs=jobs)
+    if hasattr(executor, "execute"):
+        return executor
+    raise TypeError(
+        f"executor must be a registered name or provide .execute(), got {executor!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload planning: which (target, layer, counts) does a step measure?
+# ----------------------------------------------------------------------
+#: target -> layer spec -> channel counts the step will need.
+Workload = Dict[Target, Dict[ConvLayerSpec, Set[int]]]
+
+
+def _merge(into: Workload, target: Target, spec: ConvLayerSpec, counts: Iterable[int]) -> None:
+    into.setdefault(target, {}).setdefault(spec, set()).update(counts)
+
+
+def _sweep_counts(spec: ConvLayerSpec, channel_counts, sweep_step: int) -> Tuple[int, ...]:
+    """The exact counts :meth:`Session.profile_layer` will measure.
+
+    Delegates to :meth:`Session._sweep_counts` so workload enumeration
+    can never drift from what the serial measurement path does — the
+    backends' bitwise-identical / zero-extra-simulation invariant
+    depends on the two agreeing.
+    """
+
+    from .session import Session
+
+    return Session._sweep_counts(spec, channel_counts, sweep_step)
+
+
+def _request_workload(session: "Session", request: PruningRequest) -> Workload:
+    """The measurements a pruning job will need, enumerated up front.
+
+    Under-enumeration is always safe — whatever is missing is measured
+    serially when the step runs — so strategies whose exact
+    configurations depend on runtime choices (``uninstructed``)
+    contribute nothing here.
+    """
+
+    workload: Workload = {}
+    if request.strategy == "uninstructed":
+        return workload
+    network = session.network(request.model)
+    indices = (
+        list(request.layer_indices)
+        if request.layer_indices is not None
+        else network.conv_layer_indices
+    )
+    for index in indices:
+        spec = network.conv_layer(index).spec
+        counts = set(_sweep_counts(spec, None, request.sweep_step))
+        if request.strategy == "performance-aware" and request.fraction is not None:
+            # snap_to_step also measures the naive per-layer target.
+            counts.add(max(1, round(spec.out_channels * (1.0 - request.fraction))))
+        _merge(workload, request.target, spec, counts)
+    return workload
+
+
+def step_workload(session: "Session", step: Step) -> Workload:
+    """Enumerate the measurement workload of one plan step."""
+
+    params = step.params
+    workload: Workload = {}
+    if step.kind == "sweep":
+        targets = [Target.of(entry) for entry in params["targets"]]
+        specs = [ConvLayerSpec.from_dict(entry) for entry in params["layers"]]
+        for target in targets:
+            for spec in specs:
+                _merge(workload, target, spec, _sweep_counts(
+                    spec, params.get("channel_counts"), params["sweep_step"]
+                ))
+    elif step.kind == "profile":
+        target = Target.of(params["target"])
+        network = session.network(params["model"])
+        indices = params.get("layer_indices")
+        indices = list(indices) if indices is not None else network.conv_layer_indices
+        for index in indices:
+            spec = network.conv_layer(index).spec
+            _merge(workload, target, spec, _sweep_counts(spec, None, params["sweep_step"]))
+    elif step.kind == "prune":
+        request = PruningRequest.from_dict(params["request"])
+        workload = _request_workload(session, request)
+    elif step.kind == "compare":
+        request = PruningRequest.from_dict(params["request"])
+        for strategy in params["strategies"]:
+            for target, per_spec in _request_workload(
+                session, request.with_strategy(strategy)
+            ).items():
+                for spec, counts in per_spec.items():
+                    _merge(workload, target, spec, counts)
+    # "figure" steps run through the experiment registry's own session;
+    # their workload is not enumerable here.
+    return workload
+
+
+# ----------------------------------------------------------------------
+# Step execution (shared by all backends)
+# ----------------------------------------------------------------------
+def run_step(session: "Session", step: Step) -> Any:
+    """Execute one validated step against a session's internal engines."""
+
+    params = step.params
+    if step.kind == "sweep":
+        return session._sweep_impl(
+            [Target.of(entry) for entry in params["targets"]],
+            [ConvLayerSpec.from_dict(entry) for entry in params["layers"]],
+            params.get("channel_counts"),
+            params["sweep_step"],
+        )
+    if step.kind == "profile":
+        indices = params.get("layer_indices")
+        return session._profile_network_impl(
+            Target.of(params["target"]),
+            params["model"],
+            list(indices) if indices is not None else None,
+            params["sweep_step"],
+        )
+    if step.kind == "prune":
+        return session._prune_impl(PruningRequest.from_dict(params["request"]))
+    if step.kind == "compare":
+        return session._compare_impl(
+            PruningRequest.from_dict(params["request"]), params["strategies"]
+        )
+    if step.kind == "figure":
+        return _run_figure(session, step)
+    raise ExecutionError(f"no handler for step kind {step.kind!r}")  # pragma: no cover
+
+
+def _run_figure(session: "Session", step: Step) -> Any:
+    """Regenerate a registered figure/table through the experiment suite.
+
+    Experiment generators resolve their session via
+    :func:`repro.experiments.base.default_session`; the plan's session
+    is installed there for the duration of the step, so figure
+    measurements use this session's noise seed, checkpoint into its
+    profile store and share its caches.
+    """
+
+    from ..experiments.base import swap_default_session
+    from ..experiments.registry import run_experiment
+
+    options = dict(step.params.get("options", {}))
+    previous = swap_default_session(session)
+    try:
+        return run_experiment(step.params["experiment"], **options)
+    finally:
+        swap_default_session(previous)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+@EXECUTORS.register("serial")
+class SerialExecutor:
+    """Steps in insertion order, measurements per (target, layer) — the
+    legacy :class:`Session` call chain, now expressed over a plan."""
+
+    name = "serial"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs  # accepted for interface uniformity; unused
+
+    def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
+        return {step.id: run_step(session, step) for step in plan}
+
+
+@EXECUTORS.register("batched")
+class BatchedExecutor:
+    """One cross-layer simulator batch per (step, target) before the
+    step logic runs against a warm cache."""
+
+    name = "batched"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs  # accepted for interface uniformity; unused
+
+    def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        for step in plan:
+            for target, per_spec in step_workload(session, step).items():
+                session.runner(target).prefetch(
+                    (spec, sorted(counts)) for spec, counts in per_spec.items()
+                )
+            results[step.id] = run_step(session, step)
+        return results
+
+
+def _measure_worker(
+    target_payload: Dict[str, Any],
+    spec_payload: Dict[str, Any],
+    counts: List[int],
+    seed: int,
+) -> List[Dict[str, Any]]:
+    """Measure one (target, layer) sweep in a worker process.
+
+    Runs without a store (the parent owns persistence) and returns plain
+    measurement dicts, so the task round-trips through pickling with no
+    shared state.  Determinism comes from the counter-based noise
+    stream: the same (configuration, seed) yields the same measurement
+    in any process.
+    """
+
+    target = Target.from_dict(target_payload)
+    spec = ConvLayerSpec.from_dict(spec_payload)
+    runner = ProfileRunner.for_target(target, seed=seed)
+    return [m.as_dict() for m in runner.measure_many(spec, counts)]
+
+
+@EXECUTORS.register("process")
+class ProcessExecutor:
+    """Fan the plan's measurement workload across worker processes.
+
+    The combined workload of every step is deduplicated against the
+    session cache and profile store, split into one task per (target,
+    layer) sweep, measured in a :class:`ProcessPoolExecutor`, and
+    adopted back into the parent session (and its store) before the
+    steps themselves run — so step logic sees only cache hits and the
+    results are bitwise identical to the serial backend.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be None or >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
+        merged: Workload = {}
+        for step in plan:
+            for target, per_spec in step_workload(session, step).items():
+                for spec, counts in per_spec.items():
+                    _merge(merged, target, spec, counts)
+
+        tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
+        for target, per_spec in merged.items():
+            runner = session.runner(target)
+            for spec, counts in per_spec.items():
+                missing = runner.pending_counts(spec, sorted(counts))
+                if missing:
+                    tasks.append((target, spec, missing))
+
+        if tasks:
+            self._fan_out(session, tasks)
+        return {step.id: run_step(session, step) for step in plan}
+
+    def _fan_out(
+        self, session: "Session", tasks: List[Tuple[Target, ConvLayerSpec, List[int]]]
+    ) -> None:
+        max_workers = self.jobs if self.jobs is not None else min(len(tasks), 8)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _measure_worker,
+                    target.to_dict(),
+                    spec.as_dict(),
+                    counts,
+                    session.seed,
+                ): (target, spec)
+                for target, spec, counts in tasks
+            }
+            for future in as_completed(futures):
+                target, spec = futures[future]
+                try:
+                    payloads = future.result()
+                except Exception as error:
+                    raise ExecutionError(
+                        f"worker measuring {spec.name!r} on {target.label} failed: {error}"
+                    ) from error
+                session.runner(target).adopt(
+                    spec, [Measurement.from_dict(payload) for payload in payloads]
+                )
+
+
+__all__ = [
+    "EXECUTORS",
+    "BatchedExecutor",
+    "ExecutionError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "UnknownExecutorError",
+    "resolve_executor",
+    "step_workload",
+    "run_step",
+]

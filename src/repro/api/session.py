@@ -15,6 +15,16 @@ serializable :class:`~repro.api.pipeline.PruningRequest` and get a
 :class:`~repro.api.pipeline.PruningReport` back, byte-for-byte
 reproducing what the legacy :class:`~repro.core.perf_aware.PerformanceAwarePruner`
 would compute for the same parameters.
+
+Execution is plan-based: ``sweep``/``prune``/``compare``/
+``profile_network`` each build a one-step
+:class:`~repro.api.plan.Plan` and hand it to :meth:`Session.execute`,
+which routes it through a pluggable
+:class:`~repro.api.executor.EXECUTORS` backend (``serial``, ``batched``
+or ``process``).  All backends share the counter-based measurement
+noise stream, so results are bitwise identical regardless of backend;
+with a profile store attached, completed measurements checkpoint to
+disk and re-executing a plan simulates nothing.
 """
 
 from __future__ import annotations
@@ -35,7 +45,8 @@ from ..profiling.latency_table import LatencyTable, build_latency_table
 from ..profiling.runner import ProfileRunner
 from ..profiling.store import ProfileStore
 from .pipeline import ComparisonReport, PruningReport, PruningRequest
-from .target import Target, TargetLike
+from .plan import Plan
+from .target import Target, TargetLike, coerce_targets
 
 #: Default bound on cached layer profiles.  Profiling the full model zoo
 #: on the paper's four targets needs well under a thousand entries, so
@@ -159,18 +170,38 @@ class Session:
         touching the simulator and written back after fresh sweeps, so
         repeated processes (e.g. CLI invocations with
         ``--profile-store``) reuse each other's profiles.
+    seed:
+        Measurement-noise stream seed, ``0`` by default (the historical
+        stream).  Two sessions built with the same seed reproduce
+        bitwise-identical measurements without sharing a store; a
+        different seed forks an independent deterministic stream.  The
+        seed is plumbed into every runner's splitmix64 noise stream and
+        keys store records, so differently-seeded sessions never serve
+        each other's perturbations.
+    executor:
+        Default :data:`~repro.api.executor.EXECUTORS` backend name (or
+        instance) used by :meth:`execute` and by the plan-routed
+        ``sweep``/``prune``/``compare``/``profile_network`` methods.
+        ``"serial"`` preserves legacy semantics; ``"batched"`` and
+        ``"process"`` produce bitwise-identical results faster.
     """
 
     def __init__(
         self,
         max_cache_entries: Optional[int] = DEFAULT_MAX_CACHE_ENTRIES,
         store: StoreLike = None,
+        seed: int = 0,
+        executor: Union[str, Any] = "serial",
     ) -> None:
         if max_cache_entries is not None and max_cache_entries < 1:
             raise ValueError(
                 f"max_cache_entries must be None or >= 1, got {max_cache_entries}"
             )
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, got {seed!r}")
         self.max_cache_entries = max_cache_entries
+        self.seed = seed
+        self.default_executor = executor
         self._store = self._coerce_store(store)
         self._profiles: "OrderedDict[_ProfileKey, LayerProfile]" = OrderedDict()
         self._runners: Dict[_TargetKey, ProfileRunner] = {}
@@ -237,20 +268,9 @@ class Session:
 
     @staticmethod
     def _as_target_list(targets: Union[TargetLike, Iterable[TargetLike]]) -> List[Target]:
-        """Accept one target-like value or an iterable of them.
+        """Accept one target-like value or an iterable of them."""
 
-        A bare ``(device, library[, runs])`` name tuple is one target;
-        any other iterable is a collection of target-like values.
-        """
-
-        if isinstance(targets, (Target, str, dict)):
-            return [Target.of(targets)]
-        seq = list(targets)
-        if 2 <= len(seq) <= 3 and all(
-            isinstance(item, str) and "@" not in item for item in seq[:2]
-        ):
-            return [Target.of(tuple(seq))]
-        return [Target.of(item) for item in seq]
+        return coerce_targets(targets)
 
     # ------------------------------------------------------------------
     # Resolution
@@ -261,7 +281,9 @@ class Session:
         target = Target.of(target)
         key = self._target_key(target)
         if key not in self._runners:
-            self._runners[key] = ProfileRunner.for_target(target, store=self._store)
+            self._runners[key] = ProfileRunner.for_target(
+                target, store=self._store, seed=self.seed
+            )
         return self._runners[key]
 
     def network(self, model: str) -> Network:
@@ -390,8 +412,28 @@ class Session:
         layer_indices: Optional[Sequence[int]] = None,
         sweep_step: int = 1,
     ) -> Dict[int, LayerProfile]:
-        """Profile every (selected) convolutional layer of a network."""
+        """Profile every (selected) convolutional layer of a network.
 
+        Model names route through a one-step plan and the session's
+        executor; a pre-built :class:`Network` object (not expressible
+        in a serializable plan) is profiled directly.
+        """
+
+        if not isinstance(model, str):
+            return self._profile_network_impl(target, model, layer_indices, sweep_step)
+        plan = Plan()
+        step = plan.profile(
+            Target.of(target), model, layer_indices=layer_indices, sweep_step=sweep_step
+        )
+        return self.execute(plan)[step.id]
+
+    def _profile_network_impl(
+        self,
+        target: TargetLike,
+        model: Union[str, Network],
+        layer_indices: Optional[Sequence[int]],
+        sweep_step: int,
+    ) -> Dict[int, LayerProfile]:
         network = self.network(model) if isinstance(model, str) else model
         indices = (
             list(layer_indices) if layer_indices is not None else network.conv_layer_indices
@@ -419,24 +461,24 @@ class Session:
         cache, the batched runner and the profile store, so repeats are
         free — and the result comes back as a tidy :class:`SweepTable`:
         one row per measured (target, layer, channel count) point, plus
-        the full per-pair profiles for staircase analysis.
+        the full per-pair profiles for staircase analysis.  The sweep is
+        expressed as a one-step :class:`Plan` and routed through the
+        session's executor backend.
         """
 
-        resolved = self._as_target_list(targets)
-        specs = [layers] if isinstance(layers, ConvLayerSpec) else list(layers)
-        if not resolved:
-            raise ValueError("sweep needs at least one target")
-        if not specs:
-            raise ValueError("sweep needs at least one layer")
-        by_name: Dict[str, ConvLayerSpec] = {}
-        for spec in specs:
-            # Profiles are keyed by layer name; two different specs under
-            # one name would silently shadow each other in the table.
-            if by_name.setdefault(spec.name, spec) != spec:
-                raise ValueError(
-                    f"sweep got two different layer specs named {spec.name!r}"
-                )
-        specs = list(by_name.values())
+        plan = Plan()
+        step = plan.sweep(
+            targets, layers, channel_counts=channel_counts, sweep_step=sweep_step
+        )
+        return self.execute(plan)[step.id]
+
+    def _sweep_impl(
+        self,
+        resolved: List[Target],
+        specs: List[ConvLayerSpec],
+        channel_counts: Optional[Iterable[int]],
+        sweep_step: int,
+    ) -> SweepTable:
         counts = list(channel_counts) if channel_counts is not None else None
 
         rows: List[Dict[str, Any]] = []
@@ -473,9 +515,16 @@ class Session:
         """Execute one pruning job and report the outcome.
 
         Matches the legacy :class:`PerformanceAwarePruner` output for
-        the same (model, device, library, strategy, parameters).
+        the same (model, device, library, strategy, parameters).  The
+        job travels as a one-step :class:`Plan` through the session's
+        executor backend.
         """
 
+        plan = Plan()
+        step = plan.prune(request)
+        return self.execute(plan)[step.id]
+
+    def _prune_impl(self, request: PruningRequest) -> PruningReport:
         pruner = self.pruner(request.target, criterion=request.criterion)
         network = self.network(request.model)
         indices = list(request.layer_indices) if request.layer_indices is not None else None
@@ -502,11 +551,45 @@ class Session:
 
         if not strategies:
             raise ValueError("strategies must not be empty")
+        plan = Plan()
+        step = plan.compare(request, strategies=strategies)
+        return self.execute(plan)[step.id]
+
+    def _compare_impl(
+        self, request: PruningRequest, strategies: Sequence[str]
+    ) -> ComparisonReport:
         reports = {
-            strategy: self.prune(request.with_strategy(strategy))
+            strategy: self._prune_impl(request.with_strategy(strategy))
             for strategy in strategies
         }
         return ComparisonReport(request=request, reports=reports)
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        plan: Plan,
+        executor: Union[str, Any, None] = None,
+        jobs: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Execute a :class:`Plan` and return ``{step id: result}``.
+
+        ``executor`` picks the :data:`~repro.api.executor.EXECUTORS`
+        backend (``"serial"``, ``"batched"``, ``"process"`` or an
+        instance); the session default applies when omitted.  ``jobs``
+        bounds the worker count of parallel backends.  Results are
+        bitwise identical across backends for the same seed; with a
+        profile store attached, measurements are checkpointed so
+        re-executing the same plan simulates nothing.
+        """
+
+        from .executor import resolve_executor
+
+        backend = resolve_executor(
+            executor if executor is not None else self.default_executor, jobs=jobs
+        )
+        return backend.execute(self, plan)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         stats = self._stats

@@ -141,6 +141,25 @@ class Target:
         return self.label
 
 
+def coerce_targets(targets) -> "list[Target]":
+    """Accept one target-like value or an iterable of them.
+
+    A bare ``(device, library[, runs])`` name tuple is one target; any
+    other iterable is a collection of target-like values.  Used by
+    :meth:`repro.api.Session.sweep` and the :class:`repro.api.Plan`
+    builders so both accept the same spellings.
+    """
+
+    if isinstance(targets, (Target, str, Mapping)):
+        return [Target.of(targets)]
+    seq = list(targets)
+    if 2 <= len(seq) <= 3 and all(
+        isinstance(item, str) and "@" not in item for item in seq[:2]
+    ):
+        return [Target.of(tuple(seq))]
+    return [Target.of(item) for item in seq]
+
+
 def default_targets(runs: int = DEFAULT_TARGET_RUNS) -> Tuple[Target, ...]:
     """The paper's four evaluation targets as :class:`Target` objects."""
 
@@ -168,6 +187,7 @@ __all__ = [
     "Target",
     "TargetError",
     "TargetLike",
+    "coerce_targets",
     "default_targets",
     "iter_all_targets",
 ]

@@ -67,6 +67,20 @@ def reset_default_session(store=None) -> Session:
     return _SESSION
 
 
+def swap_default_session(session: Session) -> Session:
+    """Install a specific session as the shared default; return the old one.
+
+    Plan ``figure`` steps use this to run experiment generators against
+    the plan session — its noise seed, profile store and caches — and
+    restore the previous shared session afterwards.
+    """
+
+    global _SESSION
+    previous = _SESSION
+    _SESSION = session
+    return previous
+
+
 def set_default_profile_store(store) -> None:
     """Attach (or with ``None`` detach) the shared session's profile store.
 
@@ -75,6 +89,17 @@ def set_default_profile_store(store) -> None:
     """
 
     default_session().set_store(store)
+
+
+def execute_plan(plan, executor=None, jobs=None):
+    """Execute a :class:`repro.api.Plan` against the shared session.
+
+    Experiment generators build declarative plans and hand them here, so
+    one CLI invocation can swap the execution backend (``serial``,
+    ``batched``, ``process``) without touching the generators.
+    """
+
+    return default_session().execute(plan, executor=executor, jobs=jobs)
 
 
 def make_runner(device: str, library: str, runs: int = 5) -> ProfileRunner:
@@ -187,10 +212,12 @@ __all__ = [
     "LatencyCurve",
     "SpeedupMatrix",
     "default_session",
+    "execute_plan",
     "heatmap_experiment",
     "make_runner",
     "reset_default_session",
     "resnet_layer",
     "set_default_profile_store",
+    "swap_default_session",
     "sweep_experiment",
 ]

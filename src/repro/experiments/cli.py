@@ -7,10 +7,14 @@ Usage::
     python -m repro.experiments fig14
     python -m repro.experiments table1 table5 --json out.json
     python -m repro.experiments all --fast
+    python -m repro.experiments run-plan plan.json --executor process --jobs 4
 
 Experiments run through the shared :class:`repro.api.Session`
 (:func:`repro.experiments.base.default_session`), so a multi-experiment
-invocation profiles each layer configuration once.
+invocation profiles each layer configuration once.  ``run-plan``
+executes a serialized :class:`repro.api.Plan` under any registered
+executor backend; unknown experiment ids exit with status 2 and list
+the valid identifiers instead of dumping a traceback.
 """
 
 from __future__ import annotations
@@ -18,13 +22,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Iterable, List
+from pathlib import Path
+from typing import Any, Iterable, List
 
 from ..api.target import TargetError, Target
 from ..gpusim.device import DEVICES
 from ..libraries.base import LIBRARIES
 from .base import ExperimentResult
-from .registry import available_experiments, run_experiment
+from .registry import UnknownExperimentError, available_experiments, run_experiment
 
 #: Experiments that are slow at full resolution; ``--fast`` coarsens them.
 _SWEEP_EXPERIMENTS = {
@@ -43,7 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment identifiers (e.g. fig14 table1), 'all', 'list', or 'targets'",
+        help=(
+            "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
+            "'targets', or 'run-plan PLAN.json [...]'"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -63,6 +71,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--markdown",
         metavar="PATH",
         help="also write a paper-vs-measured markdown report",
+    )
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        metavar="NAME",
+        help="run-plan executor backend: serial, batched or process (default: serial)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run-plan worker-process bound for the process executor",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="run-plan measurement-noise stream seed (default: 0, the shared stream)",
     )
     return parser
 
@@ -111,9 +139,117 @@ def run_many(experiment_ids: Iterable[str], fast: bool = False) -> List[Experime
     ]
 
 
+# ----------------------------------------------------------------------
+# run-plan subcommand
+# ----------------------------------------------------------------------
+def _describe_step_result(result: Any) -> str:
+    """A terse, human-readable digest of one step's result."""
+
+    from ..api.pipeline import ComparisonReport, PruningReport
+    from ..api.session import SweepTable
+
+    if isinstance(result, SweepTable):
+        return (
+            f"sweep of {len(result.layer_names)} layer(s) across "
+            f"{len(result.targets)} target(s), {len(result)} points\n"
+            + result.format()
+        )
+    if isinstance(result, PruningReport):
+        return result.summary()
+    if isinstance(result, ComparisonReport):
+        return "\n".join(report.summary() for report in result.reports.values())
+    if isinstance(result, ExperimentResult):
+        return result.summary()
+    if isinstance(result, dict):
+        return f"profiled {len(result)} layer(s)"
+    return repr(result)
+
+
+def _step_result_payload(result: Any) -> Any:
+    """A JSON-serializable projection of one step's result."""
+
+    from ..api.pipeline import ComparisonReport, PruningReport
+    from ..api.session import SweepTable
+
+    if isinstance(result, SweepTable):
+        return {"rows": list(result.rows)}
+    if isinstance(result, (PruningReport, ComparisonReport)):
+        return result.to_dict()
+    if isinstance(result, ExperimentResult):
+        return {"experiment_id": result.experiment_id, "measured": result.measured}
+    if isinstance(result, dict):
+        return {
+            str(index): {"original_time_ms": profile.original_time_ms}
+            for index, profile in result.items()
+        }
+    return repr(result)
+
+
+def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
+    """Execute serialized plans under the requested executor backend."""
+
+    from ..api.plan import Plan, PlanError
+    from ..api.registry import UnknownPluginError
+    from ..api.session import Session
+
+    if not plan_paths:
+        print("run-plan needs at least one plan file", file=sys.stderr)
+        return 2
+
+    payloads = []
+    for plan_path in plan_paths:
+        path = Path(plan_path)
+        if not path.exists():
+            print(f"plan file not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            plan = Plan.from_json(path.read_text(encoding="utf-8"))
+        except (PlanError, ValueError) as error:
+            print(f"invalid plan {path}: {error}", file=sys.stderr)
+            return 2
+        try:
+            session = Session(store=args.profile_store or None, seed=args.seed)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        try:
+            results = session.execute(plan, executor=args.executor, jobs=args.jobs)
+        except UnknownPluginError as error:
+            print(str(error.args[0] if error.args else error), file=sys.stderr)
+            return 2
+        print("=" * 72)
+        print(f"plan {path} ({len(plan)} step(s), executor={args.executor})")
+        for step in plan:
+            print("-" * 72)
+            print(f"[{step.id}] {step.kind}")
+            print(_describe_step_result(results[step.id]))
+        print("-" * 72)
+        print(
+            f"simulated {session.simulation_count()} configuration(s) in-process"
+            + (f"; store: {session.store.stats()}" if session.store else "")
+        )
+        payloads.append({
+            "plan": str(path),
+            "executor": args.executor,
+            "steps": {
+                step.id: {"kind": step.kind, "result": _step_result_payload(results[step.id])}
+                for step in plan
+            },
+        })
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payloads, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiments[0].lower() == "run-plan":
+        return run_plan_command(args.experiments[1:], args)
 
     # Attach (or, when the flag is absent, detach) the persistent store:
     # each invocation owns the shared session's store configuration, so a
@@ -134,7 +270,12 @@ def main(argv: List[str] | None = None) -> int:
     experiment_ids = _expand(args.experiments)
     results = []
     for experiment_id in experiment_ids:
-        result = run_experiment(experiment_id, **_kwargs_for(experiment_id, args.fast))
+        try:
+            result = run_experiment(experiment_id, **_kwargs_for(experiment_id, args.fast))
+        except UnknownExperimentError as error:
+            # The registry error already lists every valid identifier.
+            print(str(error.args[0] if error.args else error), file=sys.stderr)
+            return 2
         results.append(result)
         print("=" * 72)
         print(result.text)

@@ -27,6 +27,7 @@ from ..libraries.base import LIBRARIES
 from .base import (
     ExperimentResult,
     default_session,
+    execute_plan,
     heatmap_experiment,
     resnet_layer,
     sweep_experiment,
@@ -289,15 +290,20 @@ def fig05(runs: int = 5, step: int = 1) -> ExperimentResult:
 def fig07(runs: int = 5, step: int = 1) -> ExperimentResult:
     """Figure 7: the same staircase on the Jetson Nano (ResNet-50 L14).
 
-    The comparison fans one layer across both Jetson targets through
-    :meth:`repro.api.Session.sweep`, which batches and caches the two
-    channel sweeps and returns them as one tidy table.
+    The comparison is expressed as a declarative one-step
+    :class:`repro.api.Plan` fanning one layer across both Jetson
+    targets, executed through the shared session's executor backend —
+    the same JSON-serializable job ``repro-experiments run-plan`` runs.
     """
+
+    from ..api.plan import Plan
 
     ref = resnet_layer(14)
     nano = Target("jetson-nano", "cudnn", runs=runs)
     tx2 = Target("jetson-tx2", "cudnn", runs=runs)
-    table = default_session().sweep((nano, tx2), ref.spec, sweep_step=step)
+    plan = Plan()
+    sweep_step_node = plan.sweep((nano, tx2), ref.spec, sweep_step=step)
+    table = execute_plan(plan)[sweep_step_node.id]
     curve = curve_from_table(table.profile(nano, ref.spec.name).table, ref.label)
     tx2_curve = curve_from_table(table.profile(tx2, ref.spec.name).table, ref.label)
 

@@ -209,6 +209,26 @@ class ConvLayerSpec(LayerSpec):
             )
         return self.with_out_channels(self.out_channels - n_pruned)
 
+    # ------------------------------------------------------------------
+    # Serialization (profile store lines, Plan steps)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready payload with every constructor field."""
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConvLayerSpec":
+        """Rebuild a spec from :meth:`as_dict` output (validates on init)."""
+
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
+        if unknown:
+            raise LayerSpecError(
+                f"unknown layer spec fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class PoolLayerSpec(LayerSpec):

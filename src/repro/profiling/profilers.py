@@ -55,9 +55,26 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
     return z ^ (z >> np.uint64(31))
 
 
-def _seed_of(seed_material: str) -> np.uint64:
+def _seed_of(seed_material: str, seed: int = 0) -> np.uint64:
+    """Per-configuration splitmix64 seed, optionally forked by a stream seed.
+
+    ``seed == 0`` (the default) reproduces the historical stream exactly;
+    any other value splits off an independent but equally deterministic
+    stream, so two sessions built with the same seed see identical
+    measurements without sharing a profile store.
+    """
+
     digest = hashlib.sha256(seed_material.encode("utf-8")).digest()
-    return np.uint64(int.from_bytes(digest[:8], "little"))
+    value = int.from_bytes(digest[:8], "little")
+    if seed:
+        # The splitmix64 finalizer in plain Python ints: scalar NumPy
+        # uint64 multiplies warn on (expected, harmless) overflow.
+        mask = 2**64 - 1
+        z = (value + seed * int(_SPLITMIX_GAMMA)) & mask
+        z = ((z ^ (z >> 30)) * int(_SPLITMIX_MUL1)) & mask
+        z = ((z ^ (z >> 27)) * int(_SPLITMIX_MUL2)) & mask
+        value = z ^ (z >> 31)
+    return np.uint64(value)
 
 
 def _factors_from_seeds(seeds: np.ndarray, runs: int) -> np.ndarray:
@@ -77,37 +94,46 @@ def _factors_from_seeds(seeds: np.ndarray, runs: int) -> np.ndarray:
     return 1.0 + MEASUREMENT_NOISE_STD * normal
 
 
-def noise_factors(seed_material: str, runs: int) -> np.ndarray:
+def noise_factors(seed_material: str, runs: int, seed: int = 0) -> np.ndarray:
     """Deterministic noise factors close to 1.0 for ``runs`` repetitions."""
 
-    return _factors_from_seeds(np.array([_seed_of(seed_material)]), runs)[0]
+    return _factors_from_seeds(np.array([_seed_of(seed_material, seed)]), runs)[0]
 
 
-def noise_matrix(seed_materials: Iterable[str], runs: int) -> np.ndarray:
+def noise_matrix(seed_materials: Iterable[str], runs: int, seed: int = 0) -> np.ndarray:
     """Noise factors for many configurations at once, one row each.
 
-    Row ``i`` equals ``noise_factors(seed_materials[i], runs)``; the
-    batched measurement path uses this to perturb a whole sweep in one
-    array operation.
+    Row ``i`` equals ``noise_factors(seed_materials[i], runs, seed)``;
+    the batched measurement path uses this to perturb a whole sweep in
+    one array operation.
     """
 
-    seeds = np.array([_seed_of(material) for material in seed_materials], dtype=np.uint64)
+    seeds = np.array(
+        [_seed_of(material, seed) for material in seed_materials], dtype=np.uint64
+    )
     if not len(seeds):
         return np.zeros((0, runs))
     return _factors_from_seeds(seeds, runs)
 
 
-def _noise_factor(seed_material: str, run_index: int) -> float:
+def _noise_factor(seed_material: str, run_index: int, seed: int = 0) -> float:
     """Deterministic noise factor of one run (the scalar profilers' view)."""
 
-    return float(noise_factors(seed_material, run_index + 1)[-1])
+    return float(noise_factors(seed_material, run_index + 1, seed)[-1])
 
 
 @dataclass
 class _ProfilerBase:
-    """Shared machinery of the OpenCL and CUDA profilers."""
+    """Shared machinery of the OpenCL and CUDA profilers.
+
+    ``seed`` forks the measurement-noise stream (0 keeps the historical
+    stream); it mirrors :class:`~repro.profiling.runner.ProfileRunner.seed`
+    so scalar and batched measurements of the same configuration agree
+    for any seed.
+    """
 
     device: DeviceSpec
+    seed: int = 0
 
     def __post_init__(self) -> None:
         self.simulator = GpuSimulator(self.device)
@@ -117,7 +143,7 @@ class _ProfilerBase:
         """Execute one run of a plan and record kernel events."""
 
         result = self.simulator.simulate(plan)
-        noise = _noise_factor(noise_material(self.device, plan), run_index)
+        noise = _noise_factor(noise_material(self.device, plan), run_index, self.seed)
         return self._build_run(result, noise)
 
     def _build_run(self, result: SimulationResult, noise: float) -> ProfiledRun:

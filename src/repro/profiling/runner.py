@@ -129,19 +129,33 @@ class ProfileRunner:
     store: Optional["ProfileStore"] = None
     simulations: int = 0
     max_cache_entries: Optional[int] = DEFAULT_MEASUREMENT_CACHE_ENTRIES
+    #: Measurement-noise stream seed; 0 is the historical default stream.
+    #: Two runners with the same seed produce bitwise-identical
+    #: measurements without sharing a store.
+    seed: int = 0
     _cache: "OrderedDict[Tuple[str, int], Measurement]" = field(
         default_factory=OrderedDict, repr=False
     )
 
     @classmethod
-    def create(cls, device: str, library: str, runs: int = DEFAULT_RUNS) -> "ProfileRunner":
+    def create(
+        cls, device: str, library: str, runs: int = DEFAULT_RUNS, seed: int = 0
+    ) -> "ProfileRunner":
         """Build a runner from device and library names."""
 
-        return cls(device=DEVICES.get(device), library=LIBRARIES.create(library), runs=runs)
+        return cls(
+            device=DEVICES.get(device),
+            library=LIBRARIES.create(library),
+            runs=runs,
+            seed=seed,
+        )
 
     @classmethod
     def for_target(
-        cls, target: "Target", store: Optional["ProfileStore"] = None
+        cls,
+        target: "Target",
+        store: Optional["ProfileStore"] = None,
+        seed: int = 0,
     ) -> "ProfileRunner":
         """Build a runner for a :class:`repro.api.Target`."""
 
@@ -150,6 +164,7 @@ class ProfileRunner:
             library=target.create_library(),
             runs=target.runs,
             store=store,
+            seed=seed,
         )
 
     # ------------------------------------------------------------------
@@ -198,7 +213,8 @@ class ProfileRunner:
                 missing.append(count)
         if missing and self.store is not None:
             stored, missing = self.store.lookup(
-                self.device.name, self.library.name, self.runs, layer, missing
+                self.device.name, self.library.name, self.runs, layer, missing,
+                seed=self.seed,
             )
             for count, measurement in stored.items():
                 resolved[count] = measurement
@@ -210,7 +226,8 @@ class ProfileRunner:
                 self._remember(layer, measurement.out_channels, measurement)
             if self.store is not None:
                 self.store.record(
-                    self.device.name, self.library.name, self.runs, layer, fresh
+                    self.device.name, self.library.name, self.runs, layer, fresh,
+                    seed=self.seed,
                 )
         return [resolved[count] for count in requested]
 
@@ -224,13 +241,28 @@ class ProfileRunner:
     ) -> List[Measurement]:
         """Simulate the given channel counts in one vectorized pass."""
 
+        return self._measure_pairs([(layer, count) for count in channel_counts])
+
+    def _measure_pairs(
+        self, pairs: List[Tuple[ConvLayerSpec, int]]
+    ) -> List[Measurement]:
+        """Simulate arbitrary (layer, channel count) pairs in one pass.
+
+        Per-configuration times are bitwise identical regardless of how
+        pairs are grouped into batches: the cost model is elementwise
+        over kernels and the noise stream is counter-based per
+        configuration, so executors are free to batch across layers.
+        """
+
         plans = [
             self.library.plan_with_channels(layer, count, self.device)
-            for count in channel_counts
+            for layer, count in pairs
         ]
         batch = simulate_batch(plans, self.device)
         noise = noise_matrix(
-            (noise_material(self.device, plan) for plan in plans), self.runs
+            (noise_material(self.device, plan) for plan in plans),
+            self.runs,
+            seed=self.seed,
         )
         times_ms = batch.total_time_ms[:, np.newaxis] * noise
         medians = np.median(times_ms, axis=1)
@@ -249,8 +281,78 @@ class ProfileRunner:
                 runs=self.runs,
                 job_count=int(batch.job_counts[index]),
             )
-            for index, count in enumerate(channel_counts)
+            for index, (layer, count) in enumerate(pairs)
         ]
+
+    # ------------------------------------------------------------------
+    # Executor support: prefetching and cross-process adoption
+    # ------------------------------------------------------------------
+    def pending_counts(self, layer: ConvLayerSpec, channel_counts: Iterable[int]) -> List[int]:
+        """Channel counts not served by the cache or the attached store.
+
+        Store hits found along the way are pulled into the in-memory
+        cache, so a subsequent :meth:`measure_many` over the same counts
+        touches the simulator only for the returned ones.
+        """
+
+        missing = [
+            count
+            for count in dict.fromkeys(int(count) for count in channel_counts)
+            if self._cache.get(self._cache_key(layer, count)) is None
+        ]
+        if missing and self.store is not None:
+            stored, missing = self.store.lookup(
+                self.device.name, self.library.name, self.runs, layer, missing,
+                seed=self.seed,
+            )
+            for count, measurement in stored.items():
+                self._remember(layer, count, measurement)
+        return missing
+
+    def adopt(self, layer: ConvLayerSpec, measurements: Iterable[Measurement]) -> int:
+        """Inject measurements made elsewhere (e.g. a worker process).
+
+        Already-cached configurations are ignored; fresh ones enter the
+        in-memory cache and, when a store is attached, are persisted as
+        if this runner had measured them.  Returns the number adopted.
+        """
+
+        fresh = [
+            measurement
+            for measurement in measurements
+            if self._cache.get(self._cache_key(layer, measurement.out_channels)) is None
+        ]
+        for measurement in fresh:
+            self._remember(layer, measurement.out_channels, measurement)
+        if fresh and self.store is not None:
+            self.store.record(
+                self.device.name, self.library.name, self.runs, layer, fresh,
+                seed=self.seed,
+            )
+        return len(fresh)
+
+    def prefetch(
+        self, sweeps: Iterable[Tuple[ConvLayerSpec, Iterable[int]]]
+    ) -> int:
+        """Measure many layers' sweeps in one cross-layer simulator batch.
+
+        The batched executor calls this to warm the cache for a whole
+        step at once; every later per-layer lookup is then a hit.
+        Returns the number of configurations actually simulated.
+        """
+
+        pairs: List[Tuple[ConvLayerSpec, int]] = []
+        for layer, counts in sweeps:
+            pairs.extend((layer, count) for count in self.pending_counts(layer, counts))
+        if not pairs:
+            return 0
+        fresh = self._measure_pairs(pairs)
+        by_layer: "OrderedDict[int, Tuple[ConvLayerSpec, List[Measurement]]]" = OrderedDict()
+        for (layer, _), measurement in zip(pairs, fresh):
+            by_layer.setdefault(id(layer), (layer, []))[1].append(measurement)
+        for layer, measurements in by_layer.values():
+            self.adopt(layer, measurements)
+        return len(fresh)
 
     # ------------------------------------------------------------------
     def measure_channels(

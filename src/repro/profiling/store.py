@@ -16,29 +16,46 @@ One JSON object per line, append-only.  Each line records one measured
 sweep under its grouping key::
 
     {"v": 1, "device": "mali-g72", "library": "acl-gemm", "runs": 3,
-     "spec": {...layer spec fields...}, "spec_hash": "4f0c...",
+     "seed": 0, "spec": {...layer spec fields...}, "spec_hash": "4f0c...",
      "sweep": [1, 2, ...], "measurements": [{...}, ...]}
 
 * ``v`` is :data:`STORE_VERSION`.  Lines written by an incompatible
   store (or by a build with a different measurement-noise model, which
   bumps the version) are skipped on load — stale entries invalidate
   themselves and are simply re-measured and re-appended.
-* The grouping key is ``(device, library, runs, spec_hash)`` where
-  ``spec_hash`` fingerprints every latency-relevant layer-spec field
-  *except* ``out_channels`` (the swept quantity).
+* The grouping key is ``(device, library, runs, seed, spec_hash)``
+  where ``spec_hash`` fingerprints every latency-relevant layer-spec
+  field *except* ``out_channels`` (the swept quantity) and ``seed`` is
+  the measurement-noise stream seed (absent means 0, the historical
+  stream), so differently-seeded sessions sharing one file never serve
+  each other's perturbations.
 * Lines that fail to parse are ignored (a truncated final line from a
   killed process does not poison the store).
 
-Append-only JSONL keeps concurrent writers safe on POSIX filesystems
-and makes the store trivially inspectable and diff-able.
+Multi-process safety
+--------------------
+Appends happen as a single :func:`write` of the whole line under an
+advisory ``flock`` (where the platform provides one), so two processes
+recording into the same store cannot interleave partial lines.  Reads
+never lock: a torn or foreign line is simply skipped.  Later records of
+the same configuration supersede earlier ones on load (last wins);
+:meth:`compact` rewrites the file atomically with one line per group,
+dropping superseded duplicates.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - platform-dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from ..models.layers import ConvLayerSpec
 from .runner import Measurement
@@ -47,7 +64,7 @@ from .runner import Measurement
 #: noise model, Measurement schema): old lines are skipped on load.
 STORE_VERSION = 1
 
-_GroupKey = Tuple[str, str, int, str]
+_GroupKey = Tuple[str, str, int, int, str]
 
 
 class ProfileStoreError(ValueError):
@@ -61,16 +78,8 @@ def layer_spec_fingerprint(spec: ConvLayerSpec) -> str:
     channel counts of the same base layer share one group.
     """
 
-    payload = {
-        "name": spec.name,
-        "in_channels": spec.in_channels,
-        "kernel_size": spec.kernel_size,
-        "stride": spec.stride,
-        "padding": spec.padding,
-        "input_hw": spec.input_hw,
-        "groups": spec.groups,
-        "bias": spec.bias,
-    }
+    payload = spec.as_dict()
+    del payload["out_channels"]
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -97,6 +106,29 @@ class ProfileStore:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
+    def _parse_line(self, line: str) -> Optional[Tuple[_GroupKey, List[Measurement], dict]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            payload = json.loads(line)
+            if payload.get("v") != STORE_VERSION:
+                raise ValueError("incompatible store version")
+            key = (
+                payload["device"],
+                payload["library"],
+                int(payload["runs"]),
+                int(payload.get("seed", 0)),
+                payload["spec_hash"],
+            )
+            measurements = [
+                Measurement(**entry) for entry in payload["measurements"]
+            ]
+        except (ValueError, KeyError, TypeError):
+            self.skipped_lines += 1
+            return None
+        return key, measurements, payload
+
     def _load(self) -> Dict[_GroupKey, Dict[int, Measurement]]:
         if self._index is not None:
             return self._index
@@ -104,25 +136,10 @@ class ProfileStore:
         if self.path.exists():
             with self.path.open("r", encoding="utf-8") as handle:
                 for line in handle:
-                    line = line.strip()
-                    if not line:
+                    parsed = self._parse_line(line)
+                    if parsed is None:
                         continue
-                    try:
-                        payload = json.loads(line)
-                        if payload.get("v") != STORE_VERSION:
-                            raise ValueError("incompatible store version")
-                        key = (
-                            payload["device"],
-                            payload["library"],
-                            int(payload["runs"]),
-                            payload["spec_hash"],
-                        )
-                        measurements = [
-                            Measurement(**entry) for entry in payload["measurements"]
-                        ]
-                    except (ValueError, KeyError, TypeError):
-                        self.skipped_lines += 1
-                        continue
+                    key, measurements, _ = parsed
                     group = index.setdefault(key, {})
                     for measurement in measurements:
                         group[measurement.out_channels] = measurement
@@ -138,8 +155,10 @@ class ProfileStore:
     # Lookup and record
     # ------------------------------------------------------------------
     @staticmethod
-    def _key(device: str, library: str, runs: int, spec: ConvLayerSpec) -> _GroupKey:
-        return (device, library, runs, layer_spec_fingerprint(spec))
+    def _key(
+        device: str, library: str, runs: int, spec: ConvLayerSpec, seed: int = 0
+    ) -> _GroupKey:
+        return (device, library, runs, seed, layer_spec_fingerprint(spec))
 
     def lookup(
         self,
@@ -148,10 +167,11 @@ class ProfileStore:
         runs: int,
         spec: ConvLayerSpec,
         channel_counts: Sequence[int],
+        seed: int = 0,
     ) -> Tuple[Dict[int, Measurement], List[int]]:
         """Split a sweep into (stored measurements, counts still to measure)."""
 
-        group = self._load().get(self._key(device, library, runs, spec), {})
+        group = self._load().get(self._key(device, library, runs, spec, seed), {})
         found: Dict[int, Measurement] = {}
         missing: List[int] = []
         for count in channel_counts:
@@ -171,40 +191,136 @@ class ProfileStore:
         runs: int,
         spec: ConvLayerSpec,
         measurements: Iterable[Measurement],
+        seed: int = 0,
     ) -> None:
-        """Append one measured sweep to the store file and the index."""
+        """Append one measured sweep to the store file and the index.
+
+        The whole record is written as a single line in one ``write``
+        call under an advisory lock, so concurrent writers sharing the
+        file cannot interleave partial lines.
+        """
 
         measurements = list(measurements)
         if not measurements:
             return
-        key = self._key(device, library, runs, spec)
+        key = self._key(device, library, runs, spec, seed)
         payload = {
             "v": STORE_VERSION,
             "device": device,
             "library": library,
             "runs": runs,
-            "spec": {
-                "name": spec.name,
-                "in_channels": spec.in_channels,
-                "out_channels": spec.out_channels,
-                "kernel_size": spec.kernel_size,
-                "stride": spec.stride,
-                "padding": spec.padding,
-                "input_hw": spec.input_hw,
-                "groups": spec.groups,
-                "bias": spec.bias,
-            },
-            "spec_hash": key[3],
+            "seed": seed,
+            "spec": spec.as_dict(),
+            "spec_hash": key[4],
             "sweep": [measurement.out_channels for measurement in measurements],
             "measurements": [measurement.as_dict() for measurement in measurements],
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload) + "\n")
+        line = json.dumps(payload) + "\n"
+        handle = self._open_locked_for_append()
+        try:
+            handle.write(line)
+            handle.flush()
+        finally:
+            self._unlock_and_close(handle)
         group = self._load().setdefault(key, {})
         for measurement in measurements:
             group[measurement.out_channels] = measurement
         self.writes += len(measurements)
+
+    def _open_locked_for_append(self):
+        """Open the store for appending under an advisory exclusive lock.
+
+        After acquiring the lock the handle's inode is re-checked
+        against the path: a concurrent :meth:`compact` may have
+        :func:`os.replace`'d the file while this writer was blocked, in
+        which case the lock was won on the orphaned old inode and a
+        write there would be lost.  On mismatch, reopen and retry.
+        """
+
+        while True:
+            handle = self.path.open("a", encoding="utf-8")
+            if fcntl is None:
+                return handle
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                current = os.stat(self.path)
+            except FileNotFoundError:
+                fresh = False
+            else:
+                held = os.fstat(handle.fileno())
+                fresh = (held.st_ino, held.st_dev) == (current.st_ino, current.st_dev)
+            if fresh:
+                return handle
+            self._unlock_and_close(handle)
+
+    @staticmethod
+    def _unlock_and_close(handle) -> None:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the store with one line per group, dropping duplicates.
+
+        The file is re-read from disk under the advisory lock (picking
+        up records appended by other processes since this store's lazy
+        load), deduplicated with last-writer-wins semantics, written to
+        a temporary file in the same directory and atomically swapped in
+        with :func:`os.replace`.  Returns the number of superseded or
+        unreadable measurement entries dropped.
+        """
+
+        if not self.path.exists():
+            self._index = {}
+            return 0
+        lock_handle = self._open_locked_for_append()
+        try:
+            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+            payloads: Dict[_GroupKey, dict] = {}
+            total_entries = 0
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        total_entries += 1  # count unreadable lines too
+                    parsed = self._parse_line(line)
+                    if parsed is None:
+                        continue
+                    key, measurements, payload = parsed
+                    total_entries += len(measurements) - 1
+                    group = index.setdefault(key, {})
+                    for measurement in measurements:
+                        group[measurement.out_channels] = measurement
+                    payloads[key] = payload
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.path.name + ".", suffix=".compact",
+                dir=str(self.path.parent),
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as tmp:
+                    for key, group in index.items():
+                        payload = dict(payloads[key])
+                        counts = sorted(group)
+                        payload["sweep"] = counts
+                        payload["measurements"] = [
+                            group[count].as_dict() for count in counts
+                        ]
+                        tmp.write(json.dumps(payload) + "\n")
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        finally:
+            self._unlock_and_close(lock_handle)
+        self._index = index
+        kept = sum(len(group) for group in index.values())
+        return total_entries - kept
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

@@ -42,9 +42,16 @@ class TestCli:
         results = run_many(["table1", "table4"], fast=True)
         assert [result.experiment_id for result in results] == ["table1", "table4"]
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            main(["fig99"])
+    def test_unknown_experiment_exits_2_and_lists_ids(self, capsys):
+        assert main(["fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "fig99" in captured.err
+        # The error message enumerates every valid identifier.
+        assert "fig01" in captured.err and "table5" in captured.err
+
+    def test_unknown_experiment_in_a_batch_exits_2(self, capsys):
+        assert main(["table1", "not-an-id"]) == 2
+        assert "not-an-id" in capsys.readouterr().err
 
 
 class TestProfileStoreFlag:
@@ -81,6 +88,72 @@ class TestProfileStoreFlag:
         finally:
             reset_default_session()
             capsys.readouterr()
+
+
+class TestRunPlanSubcommand:
+    @pytest.fixture()
+    def plan_path(self, tmp_path, layer16):
+        from repro.api import Plan, PruningRequest, Target
+
+        plan = Plan()
+        sweep = plan.sweep(
+            [Target("hikey-970", "acl-gemm"), Target("jetson-tx2", "cudnn")],
+            layer16,
+            sweep_step=16,
+        )
+        plan.prune(
+            PruningRequest(
+                "resnet50", Target("hikey-970", "acl-gemm"),
+                fraction=0.25, layer_indices=(16,), sweep_step=8,
+            ),
+            depends_on=[sweep.id],
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(indent=2), encoding="utf-8")
+        return path
+
+    def test_run_plan_serial(self, plan_path, capsys):
+        assert main(["run-plan", str(plan_path)]) == 0
+        output = capsys.readouterr().out
+        assert "sweep-1" in output and "prune-1" in output
+        assert "executor=serial" in output
+
+    def test_run_plan_process_with_store_and_json(self, plan_path, tmp_path, capsys):
+        store = tmp_path / "profiles.jsonl"
+        out_json = tmp_path / "results.json"
+        argv = [
+            "run-plan", str(plan_path),
+            "--executor", "process", "--jobs", "2",
+            "--profile-store", str(store), "--json", str(out_json),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert store.exists()
+        payload = json.loads(out_json.read_text())
+        assert payload[0]["executor"] == "process"
+        assert set(payload[0]["steps"]) == {"sweep-1", "prune-1"}
+
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys):
+        assert main(["run-plan", str(tmp_path / "absent.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_plan_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "steps": [{"id": "x", "kind": "nope"}]}')
+        assert main(["run-plan", str(path)]) == 2
+        assert "invalid plan" in capsys.readouterr().err
+
+    def test_unknown_executor_exits_2(self, plan_path, capsys):
+        assert main(["run-plan", str(plan_path), "--executor", "quantum"]) == 2
+        assert "quantum" in capsys.readouterr().err
+
+    def test_no_plan_file_exits_2(self, capsys):
+        assert main(["run-plan"]) == 2
+        assert "at least one plan file" in capsys.readouterr().err
+
+    def test_invalid_seed_exits_2(self, plan_path, capsys):
+        assert main(["run-plan", str(plan_path), "--seed", "-1"]) == 2
+        assert "seed" in capsys.readouterr().err
 
 
 class TestTargetsSubcommand:

@@ -149,3 +149,106 @@ class TestProfileStore:
         runner = make_runner(ProfileStore(path))
         runner.measure_many(LAYER, [4, 8, 12, 16])
         assert runner.simulations == 2
+
+    def test_pre_seed_lines_still_load(self, tmp_path):
+        """Lines written before the 'seed' field existed read as seed 0."""
+
+        path = tmp_path / "profiles.jsonl"
+        make_runner(ProfileStore(path)).measure(LAYER, 8)
+        payload = json.loads(path.read_text().splitlines()[0])
+        del payload["seed"]
+        path.write_text(json.dumps(payload) + "\n")
+
+        legacy = ProfileStore(path)
+        found, missing = legacy.lookup("mali-g72", "acl-gemm", 3, LAYER, [8])
+        assert 8 in found and missing == []
+
+    def test_seed_is_part_of_the_key(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        seeded = ProfileRunner.create("hikey-970", "acl-gemm", runs=3, seed=7)
+        seeded.store = ProfileStore(path)
+        seeded.measure(LAYER, 8)
+
+        other = make_runner(ProfileStore(path))  # seed 0
+        other.measure(LAYER, 8)
+        assert other.simulations == 1
+
+
+class TestCompact:
+    def test_compact_drops_superseded_duplicates(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        runner = make_runner(store)
+        runner.measure_many(LAYER, [4, 8])
+        # A second record re-covering count 8 plus a fresh count.
+        store.record("mali-g72", "acl-gemm", 3, LAYER,
+                     runner.measure_many(LAYER, [8, 12]))
+        assert len(path.read_text().splitlines()) == 3
+
+        dropped = store.compact()
+        assert dropped == 2  # one duplicate 8, one duplicate 12
+        assert len(path.read_text().splitlines()) == 1
+        assert len(ProfileStore(path)) == 3
+
+    def test_compact_removes_corrupt_lines(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        make_runner(store).measure(LAYER, 8)
+        with path.open("a") as handle:
+            handle.write("{truncated json\n")
+
+        fresh = ProfileStore(path)
+        assert fresh.compact() == 1
+        replayed = ProfileStore(path)
+        found, _ = replayed.lookup("mali-g72", "acl-gemm", 3, LAYER, [8])
+        assert 8 in found
+        assert replayed.skipped_lines == 0
+
+    def test_compact_of_missing_file_is_a_noop(self, tmp_path):
+        store = ProfileStore(tmp_path / "absent.jsonl")
+        assert store.compact() == 0
+        assert not store.path.exists()
+
+    def test_compact_keeps_last_writer_wins_semantics(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        original = make_runner(store).measure(LAYER, 8)
+        # Append a doctored later record for the same configuration.
+        altered = Measurement.from_dict(
+            {**original.as_dict(), "median_time_ms": original.max_time_ms}
+        )
+        store.record("mali-g72", "acl-gemm", 3, LAYER, [altered])
+        store.compact()
+        fresh = ProfileStore(path)
+        found, _ = fresh.lookup("mali-g72", "acl-gemm", 3, LAYER, [8])
+        assert found[8].median_time_ms == altered.median_time_ms
+
+    def test_compact_picks_up_foreign_appends(self, tmp_path):
+        """Records appended by another process after load survive compact."""
+
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        make_runner(store).measure(LAYER, 8)
+        # Another "process" appends behind this store's back.
+        other = ProfileStore(path)
+        make_runner(other).measure_many(LAYER, [8, 16])
+        store.compact()
+        fresh = ProfileStore(path)
+        found, missing = fresh.lookup("mali-g72", "acl-gemm", 3, LAYER, [8, 16])
+        assert missing == [] and len(found) == 2
+
+
+class TestConcurrentWriters:
+    def test_two_stores_interleaving_appends_stay_readable(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        a, b = ProfileStore(path), ProfileStore(path)
+        runner_a = make_runner(a)
+        runner_b = make_runner(b, runs=5)
+        runner_a.measure_many(LAYER, [4, 8])
+        runner_b.measure_many(LAYER, [4, 8])
+        runner_a.measure(LAYER, 12)
+
+        fresh = ProfileStore(path)
+        assert fresh.lookup("mali-g72", "acl-gemm", 3, LAYER, [4, 8, 12])[1] == []
+        assert fresh.lookup("mali-g72", "acl-gemm", 5, LAYER, [4, 8])[1] == []
+        assert fresh.skipped_lines == 0
