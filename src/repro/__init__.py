@@ -34,6 +34,10 @@ Subpackages
     Speedup matrices and latency curves (the figures' data).
 ``repro.experiments``
     One generator per paper figure/table (``python -m repro.experiments``).
+``repro.service``
+    Long-lived Plan execution service: job queue, HTTP API with NDJSON
+    event streaming, and the ``ServiceClient`` (imported on demand —
+    ``import repro.service``).
 """
 
 from . import analysis, core, experiments, gpusim, libraries, models, nn, profiling
@@ -45,7 +49,7 @@ from .libraries import get_library
 from .models import build_model
 from .profiling import ProfileRunner
 
-__version__ = "1.1.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "GpuSimulator",

@@ -8,13 +8,19 @@ Usage::
     python -m repro.experiments table1 table5 --json out.json
     python -m repro.experiments all --fast
     python -m repro.experiments run-plan plan.json --executor process --jobs 4
+    python -m repro.experiments serve --port 8765 --profile-store profiles.jsonl
+    python -m repro.experiments submit plan.json --url http://127.0.0.1:8765 --watch
+    python -m repro.experiments store stats profiles.jsonl
+    python -m repro.experiments store compact profiles.jsonl
 
 Experiments run through the shared :class:`repro.api.Session`
 (:func:`repro.experiments.base.default_session`), so a multi-experiment
 invocation profiles each layer configuration once.  ``run-plan``
 executes a serialized :class:`repro.api.Plan` under any registered
 executor backend; unknown experiment ids exit with status 2 and list
-the valid identifiers instead of dumping a traceback.
+the valid identifiers instead of dumping a traceback.  ``serve`` boots
+the long-lived :mod:`repro.service` HTTP front end and ``submit`` ships
+a plan file to it; ``store`` maintains a profile-store file.
 """
 
 from __future__ import annotations
@@ -41,16 +47,22 @@ _HEATMAP_EXPERIMENTS = {
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from .. import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's figures and tables on the simulated targets.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-experiments {__version__}"
     )
     parser.add_argument(
         "experiments",
         nargs="+",
         help=(
             "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
-            "'targets', or 'run-plan PLAN.json [...]'"
+            "'targets', 'run-plan PLAN.json [...]', 'serve', "
+            "'submit PLAN.json', or 'store {compact|stats} PATH'"
         ),
     )
     parser.add_argument(
@@ -74,9 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        default="serial",
+        default=None,
         metavar="NAME",
-        help="run-plan executor backend: serial, batched or process (default: serial)",
+        help=(
+            "executor backend: serial, batched or process (run-plan/serve "
+            "default: serial; submit defaults to the server's configured "
+            "executor)"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -90,7 +106,41 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="SEED",
-        help="run-plan measurement-noise stream seed (default: 0, the shared stream)",
+        help=(
+            "run-plan/submit measurement-noise stream seed "
+            "(default: 0, the shared stream)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="serve: interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        metavar="PORT",
+        help="serve: TCP port to bind, 0 for an ephemeral port (default: 8765)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve: job worker threads (default: 1)",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        metavar="URL",
+        help="submit: service base URL (default: http://127.0.0.1:8765)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="submit: stream the job's events and wait for its result",
     )
     return parser
 
@@ -145,44 +195,17 @@ def run_many(experiment_ids: Iterable[str], fast: bool = False) -> List[Experime
 def _describe_step_result(result: Any) -> str:
     """A terse, human-readable digest of one step's result."""
 
-    from ..api.pipeline import ComparisonReport, PruningReport
-    from ..api.session import SweepTable
+    from ..service.results import describe_step_result
 
-    if isinstance(result, SweepTable):
-        return (
-            f"sweep of {len(result.layer_names)} layer(s) across "
-            f"{len(result.targets)} target(s), {len(result)} points\n"
-            + result.format()
-        )
-    if isinstance(result, PruningReport):
-        return result.summary()
-    if isinstance(result, ComparisonReport):
-        return "\n".join(report.summary() for report in result.reports.values())
-    if isinstance(result, ExperimentResult):
-        return result.summary()
-    if isinstance(result, dict):
-        return f"profiled {len(result)} layer(s)"
-    return repr(result)
+    return describe_step_result(result)
 
 
 def _step_result_payload(result: Any) -> Any:
     """A JSON-serializable projection of one step's result."""
 
-    from ..api.pipeline import ComparisonReport, PruningReport
-    from ..api.session import SweepTable
+    from ..service.results import step_result_payload
 
-    if isinstance(result, SweepTable):
-        return {"rows": list(result.rows)}
-    if isinstance(result, (PruningReport, ComparisonReport)):
-        return result.to_dict()
-    if isinstance(result, ExperimentResult):
-        return {"experiment_id": result.experiment_id, "measured": result.measured}
-    if isinstance(result, dict):
-        return {
-            str(index): {"original_time_ms": profile.original_time_ms}
-            for index, profile in result.items()
-        }
-    return repr(result)
+    return step_result_payload(result)
 
 
 def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
@@ -196,6 +219,7 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
         print("run-plan needs at least one plan file", file=sys.stderr)
         return 2
 
+    executor = args.executor or "serial"
     payloads = []
     for plan_path in plan_paths:
         path = Path(plan_path)
@@ -213,12 +237,12 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
             print(str(error), file=sys.stderr)
             return 2
         try:
-            results = session.execute(plan, executor=args.executor, jobs=args.jobs)
+            results = session.execute(plan, executor=executor, jobs=args.jobs)
         except UnknownPluginError as error:
             print(str(error.args[0] if error.args else error), file=sys.stderr)
             return 2
         print("=" * 72)
-        print(f"plan {path} ({len(plan)} step(s), executor={args.executor})")
+        print(f"plan {path} ({len(plan)} step(s), executor={executor})")
         for step in plan:
             print("-" * 72)
             print(f"[{step.id}] {step.kind}")
@@ -230,7 +254,7 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
         )
         payloads.append({
             "plan": str(path),
-            "executor": args.executor,
+            "executor": executor,
             "steps": {
                 step.id: {"kind": step.kind, "result": _step_result_payload(results[step.id])}
                 for step in plan
@@ -244,12 +268,139 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve / submit subcommands (the repro.service front end)
+# ----------------------------------------------------------------------
+def serve_command(args: argparse.Namespace) -> int:
+    """Boot the long-lived plan execution service and block until Ctrl-C."""
+
+    from .. import __version__
+    from ..api.registry import UnknownPluginError
+    from ..service.server import ReproServer
+
+    try:
+        server = ReproServer(
+            host=args.host,
+            port=args.port,
+            profile_store=args.profile_store or None,
+            executor=args.executor or "serial",
+            jobs=args.jobs,
+            workers=args.workers,
+            verbose=True,
+        )
+    except (OSError, ValueError, UnknownPluginError) as error:
+        detail = error.args[0] if error.args else error
+        print(f"cannot start service: {detail}", file=sys.stderr)
+        return 2
+    print(f"repro-service {__version__} listening on {server.url}", flush=True)
+    print(
+        f"profile store: {server.queue.profile_store or '(none, in-memory only)'}; "
+        f"default executor: {args.executor or 'serial'}; workers: {args.workers}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: draining queued jobs...", flush=True)
+    finally:
+        server.close()
+    return 0
+
+
+def submit_command(plan_paths: List[str], args: argparse.Namespace) -> int:
+    """Ship a plan file to a running service (optionally watching it run)."""
+
+    from ..api.plan import Plan, PlanError
+    from ..service.client import ServiceClient, ServiceError
+
+    if len(plan_paths) != 1:
+        print("submit needs exactly one plan file", file=sys.stderr)
+        return 2
+    path = Path(plan_paths[0])
+    if not path.exists():
+        print(f"plan file not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        plan = Plan.from_json(path.read_text(encoding="utf-8"))
+    except (PlanError, ValueError) as error:
+        print(f"invalid plan {path}: {error}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url)
+    try:
+        job = client.submit(plan, executor=args.executor, jobs=args.jobs, seed=args.seed)
+        print(f"submitted {path} as {job['id']} ({job['status']}) to {args.url}")
+        if not args.watch:
+            return 0
+        for event in client.iter_events(job["id"]):
+            step = f" {event['step']}" if "step" in event else ""
+            status = f" {event['status']}" if "status" in event else ""
+            print(f"[{job['id']}] {event['event']}{step}{status}", flush=True)
+        final = client.job(job["id"])
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"job {final['id']} {final['status']}; "
+        f"simulated {final.get('simulations')} configuration(s)"
+    )
+    if final["status"] == "failed" and final.get("error"):
+        print(final["error"], file=sys.stderr)
+    return 0 if final["status"] == "succeeded" else 1
+
+
+def store_command(rest: List[str], args: argparse.Namespace) -> int:
+    """Profile-store maintenance: ``store {compact|stats} PATH``."""
+
+    from ..profiling.store import ProfileStore, ProfileStoreError
+
+    if len(rest) != 2 or rest[0] not in ("compact", "stats"):
+        print("usage: repro-experiments store {compact|stats} PATH", file=sys.stderr)
+        return 2
+    action, path_text = rest
+    path = Path(path_text)
+    if not path.exists():
+        print(f"profile store not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        store = ProfileStore(path)
+    except ProfileStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if action == "stats":
+        stats = store.file_stats()
+        print(f"profile store {path}")
+        print(f"  size:         {stats['bytes']} bytes in {stats['lines']} line(s)")
+        print(f"  entries:      {stats['entries']} distinct configuration(s)")
+        print(f"  measurements: {stats['measurements']} recorded (duplicates included)")
+        print(f"  compactable:  {stats['superseded']} superseded or unreadable entr(y/ies)")
+        return 0
+
+    before = store.file_stats()
+    dropped = store.compact()
+    after = store.file_stats()
+    print(
+        f"compacted {path}: dropped {dropped} duplicate/unreadable entr(y/ies), "
+        f"{before['bytes']} -> {after['bytes']} bytes, "
+        f"{after['entries']} configuration(s) in {after['lines']} line(s)"
+    )
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.experiments[0].lower() == "run-plan":
+    first = args.experiments[0].lower()
+    if first == "run-plan":
         return run_plan_command(args.experiments[1:], args)
+    if first == "serve":
+        return serve_command(args)
+    if first == "submit":
+        return submit_command(args.experiments[1:], args)
+    if first == "store":
+        return store_command(args.experiments[1:], args)
 
     # Attach (or, when the flag is absent, detach) the persistent store:
     # each invocation owns the shared session's store configuration, so a

@@ -322,6 +322,48 @@ class ProfileStore:
         kept = sum(len(group) for group in index.values())
         return total_entries - kept
 
+    def file_stats(self) -> Dict[str, int]:
+        """On-disk statistics of the store file, read fresh from disk.
+
+        Returns ``lines`` (non-empty lines in the file), ``unreadable``
+        (lines skipped as torn/foreign/stale), ``measurements`` (total
+        measurement entries across readable lines, duplicates included),
+        ``entries`` (distinct configurations after last-wins dedup),
+        ``superseded`` (``measurements + unreadable - entries`` — what
+        :meth:`compact` would drop) and ``bytes`` (file size).  The call
+        does not disturb the in-memory index or the hit/miss counters.
+        """
+
+        stats = {
+            "lines": 0, "unreadable": 0, "measurements": 0,
+            "entries": 0, "superseded": 0, "bytes": 0,
+        }
+        if not self.path.exists():
+            return stats
+        stats["bytes"] = self.path.stat().st_size
+        skipped_before = self.skipped_lines
+        index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                stats["lines"] += 1
+                parsed = self._parse_line(line)
+                if parsed is None:
+                    stats["unreadable"] += 1
+                    continue
+                key, measurements, _ = parsed
+                stats["measurements"] += len(measurements)
+                group = index.setdefault(key, {})
+                for measurement in measurements:
+                    group[measurement.out_channels] = measurement
+        self.skipped_lines = skipped_before
+        stats["entries"] = sum(len(group) for group in index.values())
+        stats["superseded"] = (
+            stats["measurements"] + stats["unreadable"] - stats["entries"]
+        )
+        return stats
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,168 @@
+"""``ServiceClient``: the urllib-based Python client of the service API.
+
+Built on nothing but the standard library, mirroring the server's
+stdlib-only constraint::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    job = client.submit(plan, executor="process", jobs=4)
+    for event in client.iter_events(job["id"]):
+        print(event["event"], event.get("step", ""))
+    final = client.wait(job["id"])
+
+Job records come back as the plain dicts the server serves (see
+:meth:`repro.service.jobs.Job.to_dict`), so results are immediately
+JSON-dumpable.  HTTP error responses raise :class:`ServiceError`
+carrying the status code and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from ..api.plan import Plan
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """A thin, dependency-free client for :class:`~repro.service.server.ReproServer`.
+
+    ``timeout`` bounds every individual HTTP request (connect + read),
+    not whole-job waits — those take their own ``timeout`` argument.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _open(self, method: str, path: str, payload: Any = None, timeout: Optional[float] = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            )
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {error.code}: {detail}",
+                status=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {self.url}: {error.reason}") from error
+
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        with self._open(method, path, payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def version(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/version")
+
+    def submit(
+        self,
+        plan: Union[Plan, Dict[str, Any]],
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit a plan; returns the queued job record (``202``)."""
+
+        payload: Dict[str, Any] = {
+            "plan": plan.to_dict() if isinstance(plan, Plan) else plan
+        }
+        if executor is not None:
+            payload["executor"] = executor
+        if jobs is not None:
+            payload["jobs"] = jobs
+        if seed is not None:
+            payload["seed"] = seed
+        return self._request("POST", "/v1/plans", payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def iter_events(self, job_id: str, timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Stream a job's NDJSON events until its ``job-finished`` event.
+
+        A finished job replays its full event log and the iterator ends
+        immediately.  ``timeout`` bounds the *whole stream*; ``None``
+        streams until the job finishes, waiting up to an hour between
+        consecutive events (so a dead server cannot hang the client
+        forever).  Timeouts raise :class:`ServiceError`.
+        """
+
+        read_timeout = 3600.0 if timeout is None else timeout
+        response = self._open(
+            "GET", f"/v1/jobs/{job_id}/events", timeout=read_timeout
+        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            with response:
+                for line in response:
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise ServiceError(
+                            f"timed out streaming events of job {job_id} after {timeout}s"
+                        )
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+        except TimeoutError as error:
+            raise ServiceError(
+                f"no event from job {job_id} for {read_timeout}s"
+            ) from error
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Block until a job reaches a terminal status; returns its record."""
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("succeeded", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} (still {job['status']}) "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

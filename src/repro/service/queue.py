@@ -1,0 +1,293 @@
+"""The :class:`JobQueue`: worker threads draining the job store.
+
+Each worker pulls a queued job id, builds a **fresh**
+:class:`~repro.api.Session` for it (sharing only the on-disk profile
+store with every other job) and executes the plan one step at a time
+through :meth:`Session.execute` under the job's executor backend.  Per
+step granularity is what gives the service its live ``step-started`` /
+``step-finished`` event stream and step-boundary cancellation; results
+stay bitwise identical to executing the whole plan at once because the
+session (and its caches, noise stream and store) persists across the
+steps of a job.
+
+Failure isolation is per job: an exception inside a step marks that
+step and its job ``failed`` — traceback string in the job record — and
+the worker thread moves on to the next queued job.  A dead plan can
+never take a worker down with it.
+
+Shutdown is a graceful drain: :meth:`JobQueue.close` stops accepting
+submissions, lets workers finish everything already queued (or, with
+``drain=False``, cancels the backlog and finishes only the jobs
+currently running) and joins the threads.
+"""
+
+from __future__ import annotations
+
+import queue as _stdlib_queue
+import threading
+import time
+import traceback
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..api.plan import Plan, PlanError, Step
+from ..api.session import Session
+from .jobs import Job, JobStore
+from .results import step_result_payload
+
+#: Wakes idle workers so they can notice the shutdown flag.
+_POLL_SECONDS = 0.1
+
+#: ``figure`` steps swap the process-global experiment session (see
+#: :func:`repro.api.executor._run_figure`); this lock serializes them so
+#: a multi-worker queue cannot interleave two swaps and run a figure
+#: against the wrong session.
+_FIGURE_LOCK = threading.Lock()
+
+
+class QueueClosedError(RuntimeError):
+    """Raised when submitting to a queue that is shutting down."""
+
+
+class JobQueue:
+    """A thread-based worker pool executing queued plan jobs.
+
+    Parameters
+    ----------
+    store:
+        The :class:`JobStore` recording every job's lifecycle.
+    profile_store:
+        Optional path to the shared measurement
+        :class:`~repro.profiling.store.ProfileStore`.  Every job session
+        opens its own store object on this path (the store file is
+        flock-safe), so a re-submitted plan replays measurements instead
+        of re-simulating them.
+    executor / jobs:
+        Default :data:`~repro.api.executor.EXECUTORS` backend name and
+        worker bound applied to submissions that do not choose their own.
+    workers:
+        Worker thread count (default 1).  ``figure`` steps are
+        serialized across workers (they swap the process-global
+        experiment session); all other step kinds run concurrently.
+    """
+
+    def __init__(
+        self,
+        store: Optional[JobStore] = None,
+        profile_store: Union[str, Path, None] = None,
+        executor: str = "serial",
+        jobs: Optional[int] = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        # Fail fast on operator-level defaults: a typo'd --executor or a
+        # bad --jobs must stop the service from booting, not surface as
+        # errors on every client submission.
+        from ..api.executor import EXECUTORS
+
+        self.store = store if store is not None else JobStore()
+        self.profile_store = str(profile_store) if profile_store is not None else None
+        self.default_executor = EXECUTORS.canonical(executor)
+        self.default_jobs = self._validate_jobs(jobs)
+        self._queue: "_stdlib_queue.Queue[Optional[str]]" = _stdlib_queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+        self._resume()
+
+    @staticmethod
+    def _validate_jobs(jobs: Optional[int]) -> Optional[int]:
+        if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+            raise ValueError(f"jobs must be None or a positive integer, got {jobs!r}")
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Submission side
+    # ------------------------------------------------------------------
+    def _resume(self) -> None:
+        """Re-enqueue jobs interrupted before a previous shutdown."""
+
+        for job_id in self.store.pending_ids():
+            job = self.store.get(job_id)
+            if job.status == "running":
+                self.store.requeue(job_id)
+            self._queue.put(job_id)
+
+    def submit(
+        self,
+        plan: Union[Plan, Dict[str, Any]],
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
+        seed: int = 0,
+    ) -> Job:
+        """Validate a plan payload, register it and queue it for execution.
+
+        Raises :class:`~repro.api.plan.PlanError` for structurally
+        invalid plans and :class:`ValueError` for bad ``seed``/``jobs``
+        values — the server maps both to HTTP 400.
+        """
+
+        validated = plan if isinstance(plan, Plan) else Plan.from_dict(plan)
+        if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+            raise ValueError(f"seed must be a non-negative integer, got {seed!r}")
+        self._validate_jobs(jobs)
+        from ..api.executor import EXECUTORS
+
+        backend = (
+            EXECUTORS.canonical(executor)  # raises UnknownExecutorError
+            if executor is not None
+            else self.default_executor
+        )
+        with self._lock:
+            if self._closed:
+                raise QueueClosedError("the job queue is shutting down")
+            job = self.store.create(
+                validated.to_dict(),
+                executor=backend,
+                jobs=jobs if jobs is not None else self.default_jobs,
+                seed=seed,
+                steps=[(step.id, step.kind) for step in validated],
+            )
+            self._queue.put(job.id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; see :meth:`JobStore.request_cancel`."""
+
+        return self.store.request_cancel(job_id)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                job_id = self._queue.get(timeout=_POLL_SECONDS)
+            except _stdlib_queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if job_id is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job_id)
+            except Exception:
+                # _run_job already records per-step failures; this
+                # catch-all keeps the worker alive even if bookkeeping
+                # itself blows up (e.g. an unserializable result).
+                try:
+                    self.store.finish(
+                        job_id, "failed", error=traceback.format_exc()
+                    )
+                except Exception:
+                    pass
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job_id: str) -> None:
+        # Atomic claim: returns None if the job reached a terminal state
+        # while queued (e.g. cancelled), so a cancel racing this worker
+        # can never be overwritten by a later job-started transition.
+        job = self.store.mark_running(job_id)
+        if job is None:
+            return
+        try:
+            plan = Plan.from_dict(job.plan)
+        except PlanError as error:
+            # Submissions are validated, but a store written by a newer
+            # build may hold plans this build cannot parse.
+            self.store.finish(job_id, "failed", error=f"invalid stored plan: {error}")
+            return
+        session = Session(store=self.profile_store, seed=job.seed)
+        for step in plan:
+            if self.store.get(job_id).cancel_requested:
+                self.store.finish(
+                    job_id, "cancelled", simulations=session.simulation_count()
+                )
+                return
+            status, result, error = self._run_step(session, job, step)
+            if status == "failed":
+                self.store.finish(
+                    job_id, "failed", error=error,
+                    simulations=session.simulation_count(),
+                )
+                return
+        self.store.finish(
+            job_id, "succeeded", simulations=session.simulation_count()
+        )
+
+    def _run_step(
+        self, session: Session, job: Job, step: Step
+    ) -> Tuple[str, Any, Optional[str]]:
+        """Execute one step; never raises (failures come back as a status)."""
+
+        self.store.mark_step_running(job.id, step.id)
+        started = time.monotonic()
+        try:
+            # Dependencies only order steps (data flows through the
+            # session caches), so a single-step plan with deps stripped
+            # is semantically identical here: every dependency already
+            # ran in this job, against this session.
+            single = Plan()
+            single.add(Step(id=step.id, kind=step.kind, params=step.params))
+            guard = _FIGURE_LOCK if step.kind == "figure" else nullcontext()
+            with guard:
+                raw = session.execute(
+                    single, executor=job.executor, jobs=job.jobs
+                )[step.id]
+            payload = step_result_payload(raw)
+        except Exception:
+            error = traceback.format_exc()
+            duration_ms = (time.monotonic() - started) * 1000.0
+            self.store.mark_step_finished(
+                job.id, step.id, "failed", error=error, duration_ms=duration_ms
+            )
+            return "failed", None, error
+        duration_ms = (time.monotonic() - started) * 1000.0
+        self.store.mark_step_finished(
+            job.id, step.id, "succeeded", result=payload, duration_ms=duration_ms
+        )
+        return "succeeded", payload, None
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs and shut the workers down.
+
+        ``drain=True`` (default) lets workers finish every job already
+        queued; ``drain=False`` cancels the queued backlog first, so only
+        jobs currently running complete.  Idempotent.
+        """
+
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            for job in self.store.list():
+                if job.status == "queued":
+                    self.store.request_cancel(job.id)
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+__all__ = ["JobQueue", "QueueClosedError"]

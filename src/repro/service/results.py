@@ -1,0 +1,61 @@
+"""Step-result projections shared by the CLI and the service job records.
+
+Step results are rich Python objects (:class:`~repro.api.session.SweepTable`,
+:class:`~repro.api.pipeline.PruningReport`, ...).  Anything that leaves
+the process — the ``run-plan`` ``--json`` payload, a :class:`Job` record
+served over HTTP — needs the same two views of them: a terse
+human-readable digest and a JSON-serializable projection.  Both CLI and
+service import them from here so the wire shapes cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def describe_step_result(result: Any) -> str:
+    """A terse, human-readable digest of one step's result."""
+
+    from ..api.pipeline import ComparisonReport, PruningReport
+    from ..api.session import SweepTable
+    from ..experiments.base import ExperimentResult
+
+    if isinstance(result, SweepTable):
+        return (
+            f"sweep of {len(result.layer_names)} layer(s) across "
+            f"{len(result.targets)} target(s), {len(result)} points\n"
+            + result.format()
+        )
+    if isinstance(result, PruningReport):
+        return result.summary()
+    if isinstance(result, ComparisonReport):
+        return "\n".join(report.summary() for report in result.reports.values())
+    if isinstance(result, ExperimentResult):
+        return result.summary()
+    if isinstance(result, dict):
+        return f"profiled {len(result)} layer(s)"
+    return repr(result)
+
+
+def step_result_payload(result: Any) -> Any:
+    """A JSON-serializable projection of one step's result."""
+
+    from ..api.pipeline import ComparisonReport, PruningReport
+    from ..api.session import SweepTable
+    from ..experiments.base import ExperimentResult
+
+    if isinstance(result, SweepTable):
+        return {"rows": list(result.rows)}
+    if isinstance(result, (PruningReport, ComparisonReport)):
+        return result.to_dict()
+    if isinstance(result, ExperimentResult):
+        return {"experiment_id": result.experiment_id, "measured": result.measured}
+    if isinstance(result, dict):
+        return {
+            str(index): {"original_time_ms": profile.original_time_ms}
+            for index, profile in result.items()
+        }
+    return repr(result)
+
+
+__all__ = ["describe_step_result", "step_result_payload"]

@@ -1,0 +1,366 @@
+"""Stdlib-only HTTP front end for the job queue.
+
+:class:`ReproServer` wraps a ``ThreadingHTTPServer`` (no dependencies
+beyond the standard library) around a :class:`~repro.service.queue.JobQueue`
+and exposes the versioned API::
+
+    POST /v1/plans             submit a plan          -> 202 {job record}
+    GET  /v1/jobs              list jobs              -> 200 {"jobs": [...]}
+    GET  /v1/jobs/{id}         one full job record    -> 200 {job record}
+    GET  /v1/jobs/{id}/events  NDJSON event stream    -> 200 (one JSON/line)
+    POST /v1/jobs/{id}/cancel  request cancellation   -> 200 {job record}
+    GET  /v1/healthz           liveness + job counts  -> 200
+    GET  /v1/version           build/wire versions    -> 200
+
+``POST /v1/plans`` accepts either a bare serialized
+:class:`~repro.api.plan.Plan` payload or an envelope
+``{"plan": {...}, "executor": "...", "jobs": N, "seed": S}``.
+Validation failures (:class:`~repro.api.plan.PlanError`, bad seed/jobs,
+unknown executor) map to HTTP 400 with the error message in the body;
+unknown job ids map to 404.  The event stream replays a job's whole
+event log from the start and keeps the connection open until the
+``job-finished`` event — streaming a finished job terminates
+immediately, which is what lets clients ``wait`` on replayed jobs.
+
+Responses close the connection when done (HTTP/1.0 framing), so the
+NDJSON stream needs no chunked encoding: readers consume lines until
+EOF.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from .. import __version__
+from ..api.plan import PLAN_VERSION, PlanError
+from ..api.registry import UnknownPluginError
+from ..profiling.store import STORE_VERSION
+from .jobs import JOB_VERSION, JobStore, UnknownJobError
+from .queue import JobQueue, QueueClosedError
+
+#: How long one blocking poll of the event stream waits before checking
+#: whether the client hung up / the server is closing.
+_STREAM_POLL_SECONDS = 0.5
+
+
+class _ApiError(Exception):
+    """Internal: an HTTP error response (status, message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self, address: Tuple[str, int], queue: Optional[JobQueue], verbose: bool
+    ) -> None:
+        super().__init__(address, _ServiceHandler)
+        # Assigned right after the bind succeeds, before any request can
+        # arrive (requests are only served once serve_forever runs).
+        self.job_queue = queue
+        self.verbose = verbose
+        self.closing = False
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: _ServiceHTTPServer  # narrowed for the route helpers
+    server_version = f"repro-service/{__version__}"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _ApiError(400, f"request body is not valid JSON: {error}") from error
+
+    @property
+    def _store(self) -> JobStore:
+        return self.server.job_queue.store
+
+    def _job_or_404(self, job_id: str):
+        try:
+            return self._store.get(job_id)
+        except UnknownJobError:
+            raise _ApiError(404, f"unknown job id {job_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        parts = [part for part in self.path.split("?", 1)[0].split("/") if part]
+        try:
+            if parts[:1] != ["v1"]:
+                raise _ApiError(404, f"unknown path {self.path!r} (expected /v1/...)")
+            rest = parts[1:]
+            if method == "GET" and rest == ["healthz"]:
+                return self._get_healthz()
+            if method == "GET" and rest == ["version"]:
+                return self._get_version()
+            if method == "POST" and rest == ["plans"]:
+                return self._post_plan()
+            if method == "GET" and rest == ["jobs"]:
+                return self._get_jobs()
+            if method == "GET" and len(rest) == 2 and rest[0] == "jobs":
+                return self._get_job(rest[1])
+            if method == "GET" and len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "events":
+                return self._get_events(rest[1])
+            if method == "POST" and len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "cancel":
+                return self._post_cancel(rest[1])
+            raise _ApiError(404, f"no route for {method} {self.path!r}")
+        except _ApiError as error:
+            self._send_error_json(error.status, error.message)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client hangup
+            pass
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _get_healthz(self) -> None:
+        self._send_json({
+            "status": "ok",
+            "jobs": self._store.counts(),
+            "profile_store": self.server.job_queue.profile_store,
+        })
+
+    def _get_version(self) -> None:
+        from ..api.executor import EXECUTORS
+
+        self._send_json({
+            "version": __version__,
+            "plan_version": PLAN_VERSION,
+            "job_version": JOB_VERSION,
+            "store_version": STORE_VERSION,
+            "executors": sorted(EXECUTORS.available()),
+        })
+
+    def _post_plan(self) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "submission body must be a JSON object")
+        if "plan" in body:
+            plan_payload = body["plan"]
+            options = {key: body[key] for key in ("executor", "jobs", "seed") if key in body}
+            unknown = set(body) - {"plan", "executor", "jobs", "seed"}
+            if unknown:
+                raise _ApiError(400, f"unknown submission fields: {sorted(unknown)}")
+        else:
+            plan_payload, options = body, {}
+        try:
+            job = self.server.job_queue.submit(
+                plan_payload,
+                executor=options.get("executor"),
+                jobs=options.get("jobs"),
+                seed=options.get("seed", 0),
+            )
+        except (PlanError, ValueError) as error:
+            raise _ApiError(400, str(error)) from error
+        except UnknownPluginError as error:
+            raise _ApiError(
+                400, str(error.args[0] if error.args else error)
+            ) from error
+        except QueueClosedError as error:
+            raise _ApiError(503, str(error)) from error
+        self._send_json(self._store.snapshot(job.id), status=202)
+
+    def _get_jobs(self) -> None:
+        self._send_json({"jobs": self._store.summaries()})
+
+    def _get_job(self, job_id: str) -> None:
+        self._job_or_404(job_id)
+        self._send_json(self._store.snapshot(job_id))
+
+    def _post_cancel(self, job_id: str) -> None:
+        self._job_or_404(job_id)
+        self.server.job_queue.cancel(job_id)
+        self._send_json(self._store.snapshot(job_id))
+
+    def _get_events(self, job_id: str) -> None:
+        self._job_or_404(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        index = 0
+        try:
+            while True:
+                events, done = self._store.wait_for_events(
+                    job_id, index, timeout=_STREAM_POLL_SECONDS
+                )
+                for event in events:
+                    self.wfile.write((json.dumps(event, sort_keys=True) + "\n").encode("utf-8"))
+                index += len(events)
+                if events:
+                    self.wfile.flush()
+                if done and not events:
+                    return  # terminal and fully replayed
+                if self.server.closing:
+                    return
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client hangup
+            return
+
+
+class ReproServer:
+    """The long-lived plan execution service, ready to ``start()``.
+
+    Composes a :class:`~repro.service.jobs.JobStore` (persisted next to
+    the profile store when ``job_store`` is a path), a
+    :class:`~repro.service.queue.JobQueue` and the HTTP layer.  Usable
+    as a context manager; ``port=0`` binds an ephemeral port (see
+    :attr:`url`), which is how the tests and the in-process example run.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        profile_store: Union[str, Path, None] = None,
+        job_store: Union[JobStore, str, Path, None] = None,
+        executor: str = "serial",
+        jobs: Optional[int] = None,
+        workers: int = 1,
+        verbose: bool = False,
+    ) -> None:
+        if job_store is None and profile_store is not None:
+            # Persist jobs next to the profile store by default, so one
+            # --profile-store flag yields a fully resumable service.
+            profile_path = Path(profile_store)
+            job_store = profile_path.with_name(profile_path.stem + "-jobs.jsonl")
+        # Bind the socket before starting the queue: a failed bind must
+        # not leave worker threads running (and re-queued jobs executing)
+        # behind an object the caller never got to close().
+        self._http = _ServiceHTTPServer((host, port), None, verbose)
+        try:
+            store = job_store if isinstance(job_store, JobStore) else JobStore(job_store)
+            self.queue = JobQueue(
+                store=store,
+                profile_store=profile_store,
+                executor=executor,
+                jobs=jobs,
+                workers=workers,
+            )
+        except BaseException:
+            self._http.server_close()
+            raise
+        self._http.job_queue = self.queue
+        self._thread: Optional[threading.Thread] = None
+        self._served = False
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> JobStore:
+        return self.queue.store
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.host
+        if ":" in host:  # IPv6 literal
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ReproServer":
+        """Serve requests on a daemon thread; returns ``self``."""
+
+        if self._thread is None:
+            self._served = True
+            self._thread = threading.Thread(
+                target=self._http.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``serve`` CLI's main loop)."""
+
+        self._served = True
+        self._http.serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the HTTP listener, drain the queue, join the workers."""
+
+        self._http.closing = True
+        if self._served:
+            # shutdown() would block forever if serve_forever never ran.
+            self._http.shutdown()
+        self._http.server_close()
+        self.queue.close(drain=drain)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    profile_store: Union[str, Path, None] = None,
+    executor: str = "serial",
+    jobs: Optional[int] = None,
+    workers: int = 1,
+    verbose: bool = False,
+) -> ReproServer:
+    """Build and start a :class:`ReproServer` (the ``serve`` CLI backend)."""
+
+    return ReproServer(
+        host=host,
+        port=port,
+        profile_store=profile_store,
+        executor=executor,
+        jobs=jobs,
+        workers=workers,
+        verbose=verbose,
+    ).start()
+
+
+__all__ = ["ReproServer", "serve"]

@@ -19,6 +19,7 @@ FAST_EXAMPLES = (
     "quickstart.py",
     "simulator_deep_dive.py",
     "functional_pruning_check.py",
+    "service_quickstart.py",
 )
 
 #: Every example that must exist and be importable as a script.

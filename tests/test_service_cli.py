@@ -1,0 +1,173 @@
+"""Tests for the service/store CLI surface: submit, store compact/stats,
+--version."""
+
+
+import pytest
+
+import repro
+from repro.api import Plan, Target
+from repro.experiments.cli import main
+from repro.models import ConvLayerSpec
+from repro.profiling.store import ProfileStore
+from repro.service import ReproServer
+
+TARGET = Target("hikey-970", "acl-gemm")
+
+LAYER = ConvLayerSpec(
+    name="test.cli.conv", in_channels=16, out_channels=24,
+    kernel_size=3, stride=1, padding=1, input_hw=14,
+)
+
+
+def write_plan(tmp_path, sweep_step: int = 8):
+    plan = Plan()
+    plan.sweep(TARGET, LAYER, sweep_step=sweep_step)
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json(indent=2), encoding="utf-8")
+    return path
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_the_package_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    def test_submit_and_watch_runs_a_plan_to_completion(self, tmp_path, capsys):
+        plan_path = write_plan(tmp_path)
+        with ReproServer(profile_store=tmp_path / "profiles.jsonl") as server:
+            code = main(["submit", str(plan_path), "--url", server.url, "--watch"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "submitted" in output
+        assert "job-finished" in output
+        assert "succeeded" in output
+
+    def test_submit_without_watch_returns_after_queueing(self, tmp_path, capsys):
+        plan_path = write_plan(tmp_path)
+        with ReproServer(profile_store=tmp_path / "profiles.jsonl") as server:
+            assert main(["submit", str(plan_path), "--url", server.url]) == 0
+            assert "queued" in capsys.readouterr().out
+
+    def test_submit_without_executor_flag_uses_the_server_default(self, tmp_path, capsys):
+        plan_path = write_plan(tmp_path)
+        with ReproServer(executor="batched") as server:
+            assert main([
+                "submit", str(plan_path), "--url", server.url, "--watch",
+            ]) == 0
+            job = server.store.list()[-1]
+            assert job.executor == "batched"
+            # An explicit flag still overrides the server default.
+            assert main([
+                "submit", str(plan_path), "--url", server.url,
+                "--executor", "serial", "--watch",
+            ]) == 0
+            assert server.store.list()[-1].executor == "serial"
+        capsys.readouterr()
+
+    def test_failed_job_exits_1(self, tmp_path, capsys):
+        plan = Plan()
+        plan.figure("table1", bogus_option=True)  # explodes at run time
+        plan_path = tmp_path / "bad-figure.json"
+        plan_path.write_text(plan.to_json(), encoding="utf-8")
+        with ReproServer() as server:
+            code = main(["submit", str(plan_path), "--url", server.url, "--watch"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed" in captured.out
+        assert "Traceback" in captured.err
+
+    def test_missing_and_invalid_plan_files_exit_2(self, tmp_path, capsys):
+        assert main(["submit", str(tmp_path / "none.json"), "--url", "http://x"]) == 2
+        assert "not found" in capsys.readouterr().err
+        broken = tmp_path / "broken.json"
+        broken.write_text("{", encoding="utf-8")
+        assert main(["submit", str(broken), "--url", "http://x"]) == 2
+        assert "invalid plan" in capsys.readouterr().err
+        assert main(["submit", "--url", "http://x"]) == 2
+        assert "exactly one plan file" in capsys.readouterr().err
+
+    def test_unreachable_service_exits_2(self, tmp_path, capsys):
+        plan_path = write_plan(tmp_path)
+        code = main([
+            "submit", str(plan_path), "--url", "http://127.0.0.1:1",
+        ])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def make_store_with_duplicates(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        store = ProfileStore(path)
+        from repro.profiling.runner import ProfileRunner
+
+        runner = ProfileRunner.for_target(TARGET, store=store)
+        runner.measure_many(LAYER, [8, 16, 24])
+        # Re-record one measurement under its own group key so
+        # compaction has a duplicate to drop.
+        fresh = ProfileStore(path)
+        duplicate = ProfileRunner.for_target(TARGET, store=fresh).measure(LAYER, 16)
+        fresh.record(
+            duplicate.device_name, duplicate.library_name, duplicate.runs,
+            LAYER, [duplicate],
+        )
+        return path
+
+    def test_stats_reports_entries_and_compactable(self, tmp_path, capsys):
+        path = self.make_store_with_duplicates(tmp_path)
+        assert main(["store", "stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert str(path) in output
+        assert "3 distinct configuration(s)" in output
+        assert "compactable:  1" in output
+
+    def test_compact_drops_duplicates_and_reports_sizes(self, tmp_path, capsys):
+        path = self.make_store_with_duplicates(tmp_path)
+        before = path.stat().st_size
+        assert main(["store", "compact", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "dropped 1" in output
+        assert f"{before} ->" in output
+        assert len(ProfileStore(path)) == 3
+        # A second compaction finds nothing to drop.
+        assert main(["store", "compact", str(path)]) == 0
+        assert "dropped 0" in capsys.readouterr().out
+
+    def test_bad_usage_and_missing_path_exit_2(self, tmp_path, capsys):
+        assert main(["store", "defrag", str(tmp_path / "x.jsonl")]) == 2
+        assert "usage:" in capsys.readouterr().err
+        assert main(["store", "stats", str(tmp_path / "none.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+        assert main(["store", "compact"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_occupied_port_exits_2(self, capsys):
+        import socket
+
+        # A live listener on the port forces EADDRINUSE (SO_REUSEADDR
+        # only forgives TIME_WAIT, not active listeners).
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--host", "127.0.0.1", "--port", str(port)]) == 2
+        assert "cannot start service" in capsys.readouterr().err
+
+    def test_bad_worker_count_exits_2(self, capsys):
+        assert main(["serve", "--port", "0", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_unknown_default_executor_exits_2(self, capsys):
+        assert main(["serve", "--port", "0", "--executor", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot start service" in err and "unknown executor" in err
+
+    def test_bad_default_jobs_exits_2(self, capsys):
+        assert main(["serve", "--port", "0", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err

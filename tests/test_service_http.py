@@ -1,0 +1,242 @@
+"""End-to-end tests of the HTTP service over a real localhost socket."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+import repro
+from repro.api import Plan, PruningRequest, Session, Target
+from repro.api.executor import EXECUTORS, SerialExecutor
+from repro.models import ConvLayerSpec
+from repro.service import ReproServer, ServiceClient, ServiceError
+from repro.service.results import step_result_payload
+
+TARGETS = (Target("hikey-970", "acl-gemm"), Target("jetson-tx2", "cudnn"))
+
+
+class HttpGateExecutor(SerialExecutor):
+    """A serial executor that parks inside the step until released."""
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    def execute(self, session, plan):
+        type(self).entered.set()
+        assert type(self).release.wait(timeout=30.0), "gate never released"
+        return super().execute(session, plan)
+
+
+if "test-gate-http" not in EXECUTORS:
+    EXECUTORS.register("test-gate-http", HttpGateExecutor)
+
+LAYER = ConvLayerSpec(
+    name="test.http.conv", in_channels=16, out_channels=24,
+    kernel_size=3, stride=1, padding=1, input_hw=14,
+)
+
+
+def two_step_plan() -> Plan:
+    plan = Plan()
+    sweep = plan.sweep(TARGETS, LAYER, sweep_step=4)
+    plan.prune(
+        PruningRequest("resnet50", TARGETS[0], fraction=0.25,
+                       layer_indices=(16,), sweep_step=8),
+        depends_on=[sweep.id],
+    )
+    return plan
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ReproServer(
+        profile_store=tmp_path / "profiles.jsonl",
+        job_store=tmp_path / "jobs.jsonl",
+    ) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestEndpoints:
+    def test_healthz_reports_ok(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["jobs"]["succeeded"] == 0
+
+    def test_version_reports_the_package_version(self, client):
+        version = client.version()
+        assert version["version"] == repro.__version__
+        assert {"serial", "batched", "process"}.issubset(set(version["executors"]))
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/v1/nope")
+        with pytest.raises(ServiceError, match="404"):
+            client._request("GET", "/other/jobs")
+
+    def test_unknown_job_is_404(self, client):
+        for call in (lambda: client.job("job-missing"),
+                     lambda: client.cancel("job-missing"),
+                     lambda: list(client.iter_events("job-missing"))):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.status == 404
+
+    def test_invalid_plan_is_400_with_the_plan_error(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"version": 1, "steps": [{"id": "x", "kind": "warp"}]})
+        assert excinfo.value.status == 400
+        assert "unknown step kind" in str(excinfo.value)
+
+    def test_bad_seed_executor_and_body_are_400(self, client, server):
+        with pytest.raises(ServiceError, match="seed"):
+            client.submit(two_step_plan(), seed=-1)
+        with pytest.raises(ServiceError, match="unknown executor"):
+            client.submit(two_step_plan(), executor="quantum")
+        request = urllib.request.Request(
+            f"{server.url}/v1/plans", data=b"not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestSubmitStreamResult:
+    def test_submit_stream_and_fetch_result(self, client):
+        plan = two_step_plan()
+        job = client.submit(plan)
+        assert job["status"] == "queued"
+        assert [step["id"] for step in job["steps"]] == [step.id for step in plan]
+
+        events = list(client.iter_events(job["id"]))
+        names = [event["event"] for event in events]
+        assert names[0] == "job-queued"
+        assert names[-1] == "job-finished"
+        assert names.count("step-started") == len(plan)
+        assert names.count("step-finished") == len(plan)
+        assert events[-1]["status"] == "succeeded"
+
+        final = client.wait(job["id"], timeout=10.0)
+        assert final["status"] == "succeeded"
+        assert {step["status"] for step in final["steps"]} == {"succeeded"}
+        assert final["simulations"] > 0
+
+    def test_http_results_are_bitwise_identical_to_in_process_execution(self, client):
+        """Acceptance: the service serves exactly Session.execute's results."""
+
+        plan = two_step_plan()
+        expected = Session().execute(plan)  # same seed (0), same executor (serial)
+        job = client.submit(plan)
+        final = client.wait(job["id"], timeout=120.0)
+        for record in final["steps"]:
+            in_process = step_result_payload(expected[record["id"]])
+            # Compare through JSON: the wire crossing must lose nothing.
+            assert record["result"] == json.loads(json.dumps(in_process))
+
+    def test_jobs_listing_reflects_submissions(self, client):
+        job = client.submit(two_step_plan())
+        client.wait(job["id"], timeout=120.0)
+        listed = client.jobs()
+        assert [entry["id"] for entry in listed] == [job["id"]]
+        assert listed[0]["status"] == "succeeded"
+
+    def test_events_of_a_finished_job_replay_immediately(self, client):
+        job = client.submit(two_step_plan())
+        client.wait(job["id"], timeout=120.0)
+        replay = list(client.iter_events(job["id"]))
+        assert replay[-1]["event"] == "job-finished"
+
+    def test_submitting_under_a_seed_forks_the_results(self, client):
+        plan = Plan()
+        plan.sweep(TARGETS[0], LAYER, sweep_step=8)
+        base = client.wait(client.submit(plan)["id"], timeout=120.0)
+        forked = client.wait(client.submit(plan, seed=9)["id"], timeout=120.0)
+        assert base["steps"][0]["result"] != forked["steps"][0]["result"]
+
+
+class TestResumeAfterRestart:
+    def test_restart_replays_jobs_and_resubmission_simulates_nothing(self, tmp_path):
+        """Acceptance: restart serves old jobs; a re-submitted plan is
+        fully store-served (zero new simulator measurements)."""
+
+        profile_path = tmp_path / "profiles.jsonl"
+        jobs_path = tmp_path / "jobs.jsonl"
+        plan = two_step_plan()
+
+        with ReproServer(profile_store=profile_path, job_store=jobs_path) as first:
+            client = ServiceClient(first.url)
+            job = client.submit(plan)
+            original = client.wait(job["id"], timeout=120.0)
+            assert original["status"] == "succeeded"
+            assert original["simulations"] > 0
+
+        with ReproServer(profile_store=profile_path, job_store=jobs_path) as second:
+            client = ServiceClient(second.url)
+            # The finished job is served verbatim from the job store.
+            replayed = client.job(job["id"])
+            assert replayed["status"] == "succeeded"
+            assert replayed["steps"] == original["steps"]
+            # Re-submitting the identical plan replays measurements from
+            # the profile store: zero new simulations, identical results.
+            rerun = client.wait(client.submit(plan)["id"], timeout=120.0)
+            assert rerun["status"] == "succeeded"
+            assert rerun["simulations"] == 0
+            assert [step["result"] for step in rerun["steps"]] == [
+                step["result"] for step in original["steps"]
+            ]
+
+
+class TestConcurrencyAndCancel:
+    def test_concurrent_submissions_from_two_client_threads(self, server):
+        plans = {
+            "a": Plan(), "b": Plan(),
+        }
+        plans["a"].sweep(TARGETS[0], LAYER, sweep_step=4)
+        plans["b"].sweep(TARGETS[1], LAYER, sweep_step=4)
+        outcomes = {}
+
+        def submit_and_wait(name):
+            client = ServiceClient(server.url)
+            job = client.submit(plans[name])
+            outcomes[name] = client.wait(job["id"], timeout=120.0)
+
+        threads = [
+            threading.Thread(target=submit_and_wait, args=(name,)) for name in plans
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert len(outcomes) == 2
+        assert {job["status"] for job in outcomes.values()} == {"succeeded"}
+        expected = Session().execute(plans["a"])
+        step_id = plans["a"].steps[0].id
+        assert outcomes["a"]["steps"][0]["result"] == step_result_payload(
+            expected[step_id]
+        )
+
+    def test_cancel_endpoint_on_a_queued_job(self, server):
+        # Stall the single worker so the second submission stays queued.
+        HttpGateExecutor.entered.clear()
+        HttpGateExecutor.release.clear()
+        client = ServiceClient(server.url)
+        try:
+            plan = Plan()
+            plan.sweep(TARGETS[0], LAYER, sweep_step=8)
+            blocker = client.submit(plan, executor="test-gate-http")
+            assert HttpGateExecutor.entered.wait(timeout=30.0)
+            queued = client.submit(two_step_plan())
+            cancelled = client.cancel(queued["id"])
+            assert cancelled["status"] == "cancelled"
+        finally:
+            HttpGateExecutor.release.set()
+        assert client.wait(blocker["id"], timeout=120.0)["status"] == "succeeded"
+        events = list(client.iter_events(queued["id"]))
+        assert events[-1]["event"] == "job-finished"
+        assert events[-1]["status"] == "cancelled"

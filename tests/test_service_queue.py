@@ -1,0 +1,255 @@
+"""Tests for the JobQueue worker pool: execution, failure isolation,
+cancellation and graceful shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import Plan, PruningRequest, Session, Target
+from repro.api.executor import EXECUTORS, SerialExecutor, UnknownExecutorError
+from repro.models import ConvLayerSpec
+from repro.service.jobs import JobStore
+from repro.service.queue import JobQueue, QueueClosedError
+from repro.service.results import step_result_payload
+
+TARGET = Target("hikey-970", "acl-gemm")
+
+LAYER = ConvLayerSpec(
+    name="test.service.conv", in_channels=16, out_channels=24,
+    kernel_size=3, stride=1, padding=1, input_hw=14,
+)
+
+
+class GateExecutor(SerialExecutor):
+    """A serial executor that parks inside the step until released."""
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    def execute(self, session, plan):
+        type(self).entered.set()
+        assert type(self).release.wait(timeout=30.0), "gate never released"
+        return super().execute(session, plan)
+
+
+if "test-gate" not in EXECUTORS:
+    EXECUTORS.register("test-gate", GateExecutor)
+
+
+@pytest.fixture
+def gate():
+    GateExecutor.entered.clear()
+    GateExecutor.release.clear()
+    yield GateExecutor
+    GateExecutor.release.set()
+
+
+def sweep_plan(sweep_step: int = 8) -> Plan:
+    plan = Plan()
+    plan.sweep(TARGET, LAYER, sweep_step=sweep_step)
+    return plan
+
+
+def wait_done(queue: JobQueue, job_id: str, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = queue.store.get(job_id)
+        if job.done:
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} still {queue.store.get(job_id).status}")
+
+
+class TestExecution:
+    def test_submitted_plan_runs_to_success(self):
+        with JobQueue() as queue:
+            job = queue.submit(sweep_plan())
+            final = wait_done(queue, job.id)
+        assert final.status == "succeeded"
+        assert final.steps[0].status == "succeeded"
+        assert final.steps[0].duration_ms > 0
+        assert final.simulations > 0
+
+    def test_result_matches_in_process_execution(self):
+        plan = Plan()
+        sweep = plan.sweep(TARGET, LAYER, sweep_step=4)
+        plan.prune(
+            PruningRequest("resnet50", TARGET, fraction=0.25,
+                           layer_indices=(16,), sweep_step=8),
+            depends_on=[sweep.id],
+        )
+        expected = Session().execute(plan)
+        with JobQueue() as queue:
+            final = wait_done(queue, queue.submit(plan).id)
+        for record in final.steps:
+            assert record.result == step_result_payload(expected[record.id])
+
+    def test_validation_errors_surface_at_submit_time(self):
+        with JobQueue() as queue:
+            with pytest.raises(ValueError, match="seed"):
+                queue.submit(sweep_plan(), seed=-1)
+            with pytest.raises(ValueError, match="jobs"):
+                queue.submit(sweep_plan(), jobs=0)
+            with pytest.raises(UnknownExecutorError):
+                queue.submit(sweep_plan(), executor="quantum")
+            with pytest.raises(Exception, match="steps"):
+                queue.submit({"version": 1})  # not a valid plan payload
+
+    def test_seed_is_honoured(self):
+        with JobQueue() as queue:
+            base = wait_done(queue, queue.submit(sweep_plan()).id)
+            forked = wait_done(queue, queue.submit(sweep_plan(), seed=7).id)
+        assert base.steps[0].result != forked.steps[0].result
+
+
+class TestFailureIsolation:
+    def test_failing_step_marks_job_failed_and_worker_survives(self):
+        """Regression: a crashing step must not take the worker down."""
+
+        bad = Plan()
+        # Valid at build time, explodes at run time: the generator does
+        # not accept this option.
+        bad.figure("table1", bogus_option=True)
+        with JobQueue() as queue:
+            failed = wait_done(queue, queue.submit(bad).id)
+            assert failed.status == "failed"
+            assert failed.steps[0].status == "failed"
+            assert "Traceback" in failed.error
+            assert "bogus_option" in failed.error
+            assert failed.steps[0].error == failed.error
+
+            # The same worker thread still serves the next job.
+            good = wait_done(queue, queue.submit(sweep_plan()).id)
+            assert good.status == "succeeded"
+
+    def test_failure_skips_the_remaining_steps(self):
+        plan = Plan()
+        plan.figure("table1", bogus_option=True)
+        plan.sweep(TARGET, LAYER, sweep_step=8)
+        with JobQueue() as queue:
+            final = wait_done(queue, queue.submit(plan).id)
+        assert [record.status for record in final.steps] == ["failed", "skipped"]
+
+
+class TestFigureSerialization:
+    def test_concurrent_figure_jobs_keep_their_own_sessions(self):
+        """Figure steps swap the global experiment session; two workers
+        running them concurrently must not cross-contaminate seeds."""
+
+        from repro.experiments.base import reset_default_session
+
+        reset_default_session()
+        try:
+            plan = Plan()
+            plan.figure("fig04", runs=3, step=17)
+            with JobQueue(workers=2) as queue:
+                a = queue.submit(plan)
+                b = queue.submit(plan, seed=5)
+                final_a = wait_done(queue, a.id)
+                final_b = wait_done(queue, b.id)
+            assert final_a.status == final_b.status == "succeeded"
+            assert final_a.steps[0].result != final_b.steps[0].result
+
+            with JobQueue(workers=1) as solo:
+                ref_a = wait_done(solo, solo.submit(plan).id)
+                ref_b = wait_done(solo, solo.submit(plan, seed=5).id)
+            assert final_a.steps[0].result == ref_a.steps[0].result
+            assert final_b.steps[0].result == ref_b.steps[0].result
+        finally:
+            reset_default_session()
+
+
+class TestCancellation:
+    def test_cancel_mid_plan_stops_at_the_step_boundary(self, gate):
+        plan = Plan()
+        plan.sweep(TARGET, LAYER, sweep_step=8, step_id="first")
+        plan.sweep(TARGET, LAYER, sweep_step=7, step_id="second")
+        with JobQueue() as queue:
+            job = queue.submit(plan, executor="test-gate")
+            assert gate.entered.wait(timeout=30.0)
+            queue.cancel(job.id)
+            gate.release.set()
+            final = wait_done(queue, job.id)
+        assert final.status == "cancelled"
+        assert final.steps[0].status == "succeeded"
+        assert final.steps[1].status == "skipped"
+        assert final.events[-1]["event"] == "job-finished"
+
+    def test_cancel_of_a_queued_job_never_runs_it(self, gate):
+        with JobQueue() as queue:
+            blocker = queue.submit(sweep_plan(), executor="test-gate")
+            assert gate.entered.wait(timeout=30.0)
+            queued = queue.submit(sweep_plan())
+            cancelled = queue.cancel(queued.id)
+            assert cancelled.status == "cancelled"
+            gate.release.set()
+            wait_done(queue, blocker.id)
+            final = queue.store.get(queued.id)
+        assert final.status == "cancelled"
+        assert all(record.status == "skipped" for record in final.steps)
+
+
+class TestShutdown:
+    def test_close_drains_queued_jobs(self):
+        queue = JobQueue()
+        ids = [queue.submit(sweep_plan()).id for _ in range(3)]
+        queue.close(drain=True)
+        assert [queue.store.get(job_id).status for job_id in ids] == ["succeeded"] * 3
+
+    def test_close_without_drain_cancels_the_backlog(self, gate):
+        queue = JobQueue()
+        running = queue.submit(sweep_plan(), executor="test-gate")
+        assert gate.entered.wait(timeout=30.0)
+        backlog = queue.submit(sweep_plan())
+        gate.release.set()
+        queue.close(drain=False)
+        assert queue.store.get(running.id).status == "succeeded"
+        assert queue.store.get(backlog.id).status == "cancelled"
+
+    def test_submit_after_close_is_rejected(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(sweep_plan())
+
+    def test_close_is_idempotent(self):
+        queue = JobQueue()
+        queue.close()
+        queue.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            JobQueue(workers=0)
+
+    def test_invalid_default_executor_and_jobs_fail_at_construction(self):
+        """Operator typos must stop the service from booting, not surface
+        as 400s on every client submission."""
+
+        with pytest.raises(UnknownExecutorError):
+            JobQueue(executor="bogus-executor")
+        with pytest.raises(ValueError, match="jobs"):
+            JobQueue(jobs=0)
+
+
+class TestResume:
+    def test_interrupted_jobs_are_requeued_on_startup(self, tmp_path):
+        jobs_path = tmp_path / "jobs.jsonl"
+        profile_path = tmp_path / "profiles.jsonl"
+        # Simulate a server that died mid-job: the store says running,
+        # nobody is executing it.
+        store = JobStore(jobs_path)
+        plan = sweep_plan()
+        job = store.create(
+            plan.to_dict(), executor="serial", jobs=None, seed=0,
+            steps=[(step.id, step.kind) for step in plan],
+        )
+        store.mark_running(job.id)
+        del store
+
+        with JobQueue(
+            store=JobStore(jobs_path), profile_store=profile_path
+        ) as queue:
+            final = wait_done(queue, job.id)
+        assert final.status == "succeeded"
+        assert "job-requeued" in [event["event"] for event in final.events]
