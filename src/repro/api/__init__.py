@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         RequestError,
     )
     from .plan import PLAN_VERSION, STEP_KINDS, Plan, PlanError, Step
+    from .scheduler import ReadyScheduler, SchedulerError, scheduled_order, wavefronts
     from .session import DEFAULT_MAX_CACHE_ENTRIES, CacheStats, Session, SweepTable
     from .target import (
         DEFAULT_TARGET_RUNS,
@@ -85,6 +86,10 @@ _LAZY_ATTRS = {
     "ProcessExecutor": "executor",
     "ExecutionError": "executor",
     "UnknownExecutorError": "executor",
+    "ReadyScheduler": "scheduler",
+    "SchedulerError": "scheduler",
+    "scheduled_order": "scheduler",
+    "wavefronts": "scheduler",
 }
 
 __all__ = [
@@ -101,11 +106,13 @@ __all__ = [
     "ProcessExecutor",
     "PruningReport",
     "PruningRequest",
+    "ReadyScheduler",
     "Registry",
     "RegistryError",
     "RequestError",
     "STEP_KINDS",
     "STRATEGIES",
+    "SchedulerError",
     "SerialExecutor",
     "Session",
     "Step",
@@ -118,6 +125,8 @@ __all__ = [
     "coerce_targets",
     "default_targets",
     "iter_all_targets",
+    "scheduled_order",
+    "wavefronts",
 ]
 
 

@@ -8,23 +8,31 @@ itself (see :mod:`repro.profiling.profilers`) — not on execution order,
 batch composition or process identity.  The backends differ only in how
 the measurement workload reaches the simulator:
 
+All backends schedule steps over the plan's *dependency graph* rather
+than flat insertion order (see :mod:`repro.api.scheduler`): steps run in
+topological wavefronts, and a dependent step becomes runnable as soon as
+its inputs — not the whole plan's measurement pool — are ready.
+
 ``serial``
-    Legacy semantics: steps run in insertion order, each measurement
-    pass per (target, layer) exactly as :class:`~repro.api.Session`
-    always did.
+    Steps one at a time in deterministic wavefront order, each
+    measurement pass per (target, layer) exactly as
+    :class:`~repro.api.Session` always did.
 
 ``batched``
-    Each step's whole measurement workload is planned up front and
-    pushed through one cross-layer
+    Per wavefront, the whole wave's measurement workload is planned up
+    front and pushed through one cross-layer
     :meth:`~repro.profiling.runner.ProfileRunner.prefetch` /
-    :func:`~repro.gpusim.batch.simulate_batch` pass per target.
+    :func:`~repro.gpusim.batch.simulate_batch` pass per target before
+    the wave's steps run against warm caches.
 
 ``process``
-    The workload of *all* steps is fanned out across worker processes
-    with :class:`concurrent.futures.ProcessPoolExecutor` — one task per
-    independent (target, layer) sweep — then adopted into the parent
-    session's cache and profile store before the steps run against warm
-    caches.
+    Per wavefront, the wave's deduplicated measurement workload is
+    fanned out across worker processes with
+    :class:`concurrent.futures.ProcessPoolExecutor` — one task per
+    independent (target, layer) sweep — and adopted into the parent
+    session's cache and profile store; the wave's (mutually
+    independent) steps then run concurrently on worker threads against
+    the thread-safe session.
 
 Executors register in the :data:`EXECUTORS` registry, so third-party
 backends plug in the same way devices and libraries do.
@@ -32,14 +40,15 @@ backends plug in the same way devices and libraries do.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Set, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..models.layers import ConvLayerSpec
 from ..profiling.runner import Measurement, ProfileRunner
 from .pipeline import PruningRequest
 from .plan import Plan, Step
 from .registry import Registry, UnknownPluginError
+from .scheduler import scheduled_order, wavefronts
 from .target import Target
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -156,8 +165,10 @@ def step_workload(session: "Session", step: Step) -> Workload:
             ).items():
                 for spec, counts in per_spec.items():
                     _merge(workload, target, spec, counts)
-    # "figure" steps run through the experiment registry's own session;
-    # their workload is not enumerable here.
+    # "figure" steps run arbitrary experiment generators (against this
+    # session, passed via run_experiment); their measurement workload is
+    # not enumerable here, so they contribute nothing — under-enumeration
+    # is safe, the step measures whatever is missing when it runs.
     return workload
 
 
@@ -197,31 +208,44 @@ def run_step(session: "Session", step: Step) -> Any:
 def _run_figure(session: "Session", step: Step) -> Any:
     """Regenerate a registered figure/table through the experiment suite.
 
-    Experiment generators resolve their session via
-    :func:`repro.experiments.base.default_session`; the plan's session
-    is installed there for the duration of the step, so figure
-    measurements use this session's noise seed, checkpoint into its
-    profile store and share its caches.
+    The plan's session is passed straight into the experiment generator
+    (every generator accepts ``session=``), so figure measurements use
+    this session's noise seed, checkpoint into its profile store and
+    share its caches — no process-global state is touched, and figure
+    steps from different sessions may run concurrently.
     """
 
-    from ..experiments.base import swap_default_session
     from ..experiments.registry import run_experiment
 
     options = dict(step.params.get("options", {}))
-    previous = swap_default_session(session)
-    try:
-        return run_experiment(step.params["experiment"], **options)
-    finally:
-        swap_default_session(previous)
+    return run_experiment(step.params["experiment"], session=session, **options)
 
 
 # ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
+def _ordered_results(plan: Plan, results: Dict[str, Any]) -> Dict[str, Any]:
+    """Results re-keyed in plan insertion order (stable across backends)."""
+
+    return {step.id: results[step.id] for step in plan}
+
+
+def _wave_workload(session: "Session", wave: Sequence[Step]) -> Workload:
+    """The merged, per-target measurement workload of one wavefront."""
+
+    merged: Workload = {}
+    for step in wave:
+        for target, per_spec in step_workload(session, step).items():
+            for spec, counts in per_spec.items():
+                _merge(merged, target, spec, counts)
+    return merged
+
+
 @EXECUTORS.register("serial")
 class SerialExecutor:
-    """Steps in insertion order, measurements per (target, layer) — the
-    legacy :class:`Session` call chain, now expressed over a plan."""
+    """Steps one at a time in wavefront order, measurements per (target,
+    layer) — the legacy :class:`Session` call chain, now scheduled over
+    the plan's dependency graph."""
 
     name = "serial"
 
@@ -229,13 +253,14 @@ class SerialExecutor:
         self.jobs = jobs  # accepted for interface uniformity; unused
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
-        return {step.id: run_step(session, step) for step in plan}
+        results = {step.id: run_step(session, step) for step in scheduled_order(plan)}
+        return _ordered_results(plan, results)
 
 
 @EXECUTORS.register("batched")
 class BatchedExecutor:
-    """One cross-layer simulator batch per (step, target) before the
-    step logic runs against a warm cache."""
+    """One cross-layer simulator batch per (wavefront, target) before the
+    wave's step logic runs against a warm cache."""
 
     name = "batched"
 
@@ -244,13 +269,14 @@ class BatchedExecutor:
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
-        for step in plan:
-            for target, per_spec in step_workload(session, step).items():
+        for wave in wavefronts(plan):
+            for target, per_spec in _wave_workload(session, wave).items():
                 session.runner(target).prefetch(
                     (spec, sorted(counts)) for spec, counts in per_spec.items()
                 )
-            results[step.id] = run_step(session, step)
-        return results
+            for step in wave:
+                results[step.id] = run_step(session, step)
+        return _ordered_results(plan, results)
 
 
 def _measure_worker(
@@ -276,14 +302,20 @@ def _measure_worker(
 
 @EXECUTORS.register("process")
 class ProcessExecutor:
-    """Fan the plan's measurement workload across worker processes.
+    """Fan measurement workloads across processes, steps across threads.
 
-    The combined workload of every step is deduplicated against the
-    session cache and profile store, split into one task per (target,
-    layer) sweep, measured in a :class:`ProcessPoolExecutor`, and
-    adopted back into the parent session (and its store) before the
-    steps themselves run — so step logic sees only cache hits and the
-    results are bitwise identical to the serial backend.
+    The plan is executed wavefront by wavefront.  For each wave, the
+    combined workload of its steps is deduplicated against the session
+    cache and profile store, split into one task per (target, layer)
+    sweep, measured in a shared :class:`ProcessPoolExecutor` and adopted
+    back into the parent session (and its store); the wave's mutually
+    independent steps then run *concurrently* on worker threads against
+    the thread-safe session.  A dependent step therefore starts as soon
+    as its inputs' wavefront completes — not after the whole plan's
+    measurement pool.  ``jobs`` bounds both the measurement processes
+    and the per-wave step threads.  Results stay bitwise identical to
+    the serial backend: measurement noise is counter-based on the
+    configuration, never on execution order or process identity.
     """
 
     name = "process"
@@ -294,50 +326,90 @@ class ProcessExecutor:
         self.jobs = jobs
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
-        merged: Workload = {}
-        for step in plan:
-            for target, per_spec in step_workload(session, step).items():
-                for spec, counts in per_spec.items():
-                    _merge(merged, target, spec, counts)
+        results: Dict[str, Any] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for wave in wavefronts(plan):
+                tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
+                for target, per_spec in _wave_workload(session, wave).items():
+                    runner = session.runner(target)
+                    for spec, counts in per_spec.items():
+                        missing = runner.pending_counts(spec, sorted(counts))
+                        if missing:
+                            tasks.append((target, spec, missing))
+                if tasks:
+                    if pool is None:
+                        # Workers spawn on demand, so the bound may exceed
+                        # this wave's task count without wasting processes.
+                        pool = ProcessPoolExecutor(
+                            max_workers=self.jobs if self.jobs is not None else 8
+                        )
+                    self._fan_out(session, pool, tasks)
+                results.update(self._run_wave(session, wave))
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return _ordered_results(plan, results)
 
-        tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
-        for target, per_spec in merged.items():
-            runner = session.runner(target)
-            for spec, counts in per_spec.items():
-                missing = runner.pending_counts(spec, sorted(counts))
-                if missing:
-                    tasks.append((target, spec, missing))
+    def _run_wave(self, session: "Session", wave: Sequence[Step]) -> Dict[str, Any]:
+        """Run one wavefront's steps, concurrently when there are several."""
 
-        if tasks:
-            self._fan_out(session, tasks)
-        return {step.id: run_step(session, step) for step in plan}
+        if len(wave) == 1:
+            return {wave[0].id: run_step(session, wave[0])}
+        # Same default bound as the measurement pool: a very wide wave
+        # must not spawn hundreds of threads contending on the locks.
+        max_threads = min(len(wave), self.jobs if self.jobs is not None else 8)
+        results: Dict[str, Any] = {}
+        with ThreadPoolExecutor(max_workers=max_threads) as threads:
+            futures = {
+                threads.submit(run_step, session, step): step for step in wave
+            }
+            failures: List[Tuple[Step, BaseException]] = []
+            for future in as_completed(futures):
+                step = futures[future]
+                try:
+                    results[step.id] = future.result()
+                except Exception as error:
+                    failures.append((step, error))
+        if failures:
+            # A lone failure propagates untouched (same exception type
+            # and traceback as serial execution would raise); only a
+            # genuine multi-step pile-up is summarized.
+            if len(failures) == 1:
+                raise failures[0][1]
+            summary = "; ".join(
+                sorted(f"step {step.id!r} failed: {error}" for step, error in failures)
+            )
+            raise ExecutionError(summary) from failures[0][1]
+        return results
 
     def _fan_out(
-        self, session: "Session", tasks: List[Tuple[Target, ConvLayerSpec, List[int]]]
+        self,
+        session: "Session",
+        pool: ProcessPoolExecutor,
+        tasks: List[Tuple[Target, ConvLayerSpec, List[int]]],
     ) -> None:
-        max_workers = self.jobs if self.jobs is not None else min(len(tasks), 8)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(
-                    _measure_worker,
-                    target.to_dict(),
-                    spec.as_dict(),
-                    counts,
-                    session.seed,
-                ): (target, spec)
-                for target, spec, counts in tasks
-            }
-            for future in as_completed(futures):
-                target, spec = futures[future]
-                try:
-                    payloads = future.result()
-                except Exception as error:
-                    raise ExecutionError(
-                        f"worker measuring {spec.name!r} on {target.label} failed: {error}"
-                    ) from error
-                session.runner(target).adopt(
-                    spec, [Measurement.from_dict(payload) for payload in payloads]
-                )
+        futures = {
+            pool.submit(
+                _measure_worker,
+                target.to_dict(),
+                spec.as_dict(),
+                counts,
+                session.seed,
+            ): (target, spec)
+            for target, spec, counts in tasks
+        }
+        for future in as_completed(futures):
+            target, spec = futures[future]
+            try:
+                payloads = future.result()
+            except Exception as error:
+                raise ExecutionError(
+                    f"worker measuring {spec.name!r} on {target.label} failed: {error}"
+                ) from error
+            session.runner(target).adopt(
+                spec, [Measurement.from_dict(payload) for payload in payloads]
+            )
 
 
 __all__ = [

@@ -29,6 +29,7 @@ disk and re-executing a plan simulates nothing.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -154,6 +155,12 @@ class SweepTable:
 class Session:
     """Shared profiling cache plus the request/report pruning pipeline.
 
+    Sessions are thread-safe: the profile/runner/pruner/network caches
+    are guarded by an internal lock (simulation never happens under it),
+    so the process executor can run a wavefront's independent steps on
+    concurrent threads against one session and the service's job queue
+    can run figure steps from several workers in parallel.
+
     Parameters
     ----------
     max_cache_entries:
@@ -208,6 +215,10 @@ class Session:
         self._pruners: Dict[Tuple[_TargetKey, str], PerformanceAwarePruner] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = CacheStats()
+        # Guards the caches above: the process executor runs a
+        # wavefront's steps on concurrent threads against one session.
+        # Expensive work (simulation) never happens under this lock.
+        self._lock = threading.RLock()
 
     @staticmethod
     def _coerce_store(store: StoreLike) -> Optional[ProfileStore]:
@@ -237,9 +248,10 @@ class Session:
         from now on read from and write to the new store.
         """
 
-        self._store = self._coerce_store(store)
-        for runner in self._runners.values():
-            runner.store = self._store
+        with self._lock:
+            self._store = self._coerce_store(store)
+            for runner in self._runners.values():
+                runner.store = self._store
 
     def simulation_count(self) -> int:
         """Configurations actually simulated by this session's runners.
@@ -248,7 +260,8 @@ class Session:
         session reports zero.
         """
 
-        return sum(runner.simulations for runner in self._runners.values())
+        with self._lock:
+            return sum(runner.simulations for runner in self._runners.values())
 
     def cache_size(self) -> int:
         return len(self._profiles)
@@ -256,11 +269,12 @@ class Session:
     def clear_cache(self) -> None:
         """Drop cached profiles, runners and pruners; reset the counters."""
 
-        self._profiles.clear()
-        self._runners.clear()
-        self._pruners.clear()
-        self._networks.clear()
-        self._stats.reset()
+        with self._lock:
+            self._profiles.clear()
+            self._runners.clear()
+            self._pruners.clear()
+            self._networks.clear()
+            self._stats.reset()
 
     @staticmethod
     def _target_key(target: Target) -> _TargetKey:
@@ -280,19 +294,21 @@ class Session:
 
         target = Target.of(target)
         key = self._target_key(target)
-        if key not in self._runners:
-            self._runners[key] = ProfileRunner.for_target(
-                target, store=self._store, seed=self.seed
-            )
-        return self._runners[key]
+        with self._lock:
+            if key not in self._runners:
+                self._runners[key] = ProfileRunner.for_target(
+                    target, store=self._store, seed=self.seed
+                )
+            return self._runners[key]
 
     def network(self, model: str) -> Network:
         """Build (or reuse) a model-zoo network by name."""
 
         name = MODELS.canonical(model)
-        if name not in self._networks:
-            self._networks[name] = MODELS.create(name)
-        return self._networks[name]
+        with self._lock:
+            if name not in self._networks:
+                self._networks[name] = MODELS.create(name)
+            return self._networks[name]
 
     def pruner(
         self,
@@ -319,11 +335,12 @@ class Session:
                 accuracy_model=accuracy_model, runner=shared_runner,
             )
         key = (self._target_key(target), CRITERIA.canonical(criterion))
-        if key not in self._pruners:
-            self._pruners[key] = PerformanceAwarePruner(
-                target, criterion=CRITERIA.create(criterion), runner=shared_runner
-            )
-        return self._pruners[key]
+        with self._lock:
+            if key not in self._pruners:
+                self._pruners[key] = PerformanceAwarePruner(
+                    target, criterion=CRITERIA.create(criterion), runner=shared_runner
+                )
+            return self._pruners[key]
 
     # ------------------------------------------------------------------
     # Profiling
@@ -359,13 +376,18 @@ class Session:
         target = Target.of(target)
         counts = self._sweep_counts(spec, channel_counts, sweep_step)
         key: _ProfileKey = (self._target_key(target), spec, counts)
-        cached = self._profiles.get(key)
-        if cached is not None:
-            self._stats.hits += 1
-            self._profiles.move_to_end(key)
-            return cached
+        with self._lock:
+            cached = self._profiles.get(key)
+            if cached is not None:
+                self._stats.hits += 1
+                self._profiles.move_to_end(key)
+                return cached
+            self._stats.misses += 1
 
-        self._stats.misses += 1
+        # Built outside the lock: two threads racing the same key both
+        # reach the runner, whose own lock serializes the measurement —
+        # the loser is a pure runner-cache hit, and both build identical
+        # profiles (counter-based noise), so last-write-wins is safe.
         table = build_latency_table(self.runner(target), spec, counts)
         profile = LayerProfile(
             layer_index=layer_index,
@@ -373,10 +395,17 @@ class Session:
             table=table,
             analysis=analyze_table(table),
         )
-        self._profiles[key] = profile
-        if self.max_cache_entries is not None and len(self._profiles) > self.max_cache_entries:
-            self._profiles.popitem(last=False)
-            self._stats.evictions += 1
+        with self._lock:
+            existing = self._profiles.get(key)
+            if existing is not None:
+                return existing
+            self._profiles[key] = profile
+            if (
+                self.max_cache_entries is not None
+                and len(self._profiles) > self.max_cache_entries
+            ):
+                self._profiles.popitem(last=False)
+                self._stats.evictions += 1
         return profile
 
     def latency_table(

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..analysis.curves import LatencyCurve, latency_curve
 from ..analysis.speedup import SpeedupMatrix, speedup_matrix
+from ..api.registry import warn_deprecated
 from ..api.session import Session
 from ..api.target import Target
 from ..models.graph import ConvLayerRef
@@ -46,22 +47,41 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-#: One session shared by every experiment generator: sweeps over twenty
-#: figures reuse layer measurements instead of re-profiling per figure.
-#: Unbounded cache: a full ``all`` run profiles every figure's layers and
-#: must keep them hot for the later figures.
+#: One session shared by experiment generators that are not handed an
+#: explicit ``session=``: sweeps over twenty figures reuse layer
+#: measurements instead of re-profiling per figure.  Unbounded cache: a
+#: full ``all`` run profiles every figure's layers and must keep them
+#: hot for the later figures.  This is a *convenience default only* —
+#: plan ``figure`` steps and the CLI pass their own session, so nothing
+#: in the execution path depends on process-global state.
 _SESSION = Session(max_cache_entries=None)
 
 
 def default_session() -> Session:
-    """The session shared by all experiment generators."""
+    """The convenience session used when no explicit ``session=`` is given."""
 
     return _SESSION
 
 
-def reset_default_session(store=None) -> Session:
-    """Replace the shared session (used between independent CLI runs/tests)."""
+def resolve_session(session: Optional[Session]) -> Session:
+    """An explicit session if given, else the shared convenience default."""
 
+    return session if session is not None else _SESSION
+
+
+def reset_default_session(store=None) -> Session:
+    """Replace the shared convenience session.
+
+    .. deprecated::
+        Pass an explicit ``session=`` to experiment generators (or
+        :func:`repro.experiments.registry.run_experiment`) instead of
+        mutating the process-global default.
+    """
+
+    warn_deprecated(
+        "repro.experiments.base.reset_default_session",
+        "an explicit session= argument to experiment generators",
+    )
     global _SESSION
     _SESSION = Session(max_cache_entries=None, store=store)
     return _SESSION
@@ -70,11 +90,16 @@ def reset_default_session(store=None) -> Session:
 def swap_default_session(session: Session) -> Session:
     """Install a specific session as the shared default; return the old one.
 
-    Plan ``figure`` steps use this to run experiment generators against
-    the plan session — its noise seed, profile store and caches — and
-    restore the previous shared session afterwards.
+    .. deprecated::
+        Plan ``figure`` steps now pass their session straight into
+        :func:`repro.experiments.registry.run_experiment` via
+        ``session=``; nothing needs to swap global state any more.
     """
 
+    warn_deprecated(
+        "repro.experiments.base.swap_default_session",
+        "run_experiment(..., session=...)",
+    )
     global _SESSION
     previous = _SESSION
     _SESSION = session
@@ -85,33 +110,36 @@ def set_default_profile_store(store) -> None:
     """Attach (or with ``None`` detach) the shared session's profile store.
 
     ``store`` is a :class:`~repro.profiling.store.ProfileStore` or a
-    path to its JSON-lines file (the CLI's ``--profile-store`` flag).
+    path to its JSON-lines file.
     """
 
     default_session().set_store(store)
 
 
-def execute_plan(plan, executor=None, jobs=None):
-    """Execute a :class:`repro.api.Plan` against the shared session.
+def execute_plan(plan, executor=None, jobs=None, session: Optional[Session] = None):
+    """Execute a :class:`repro.api.Plan` against a session.
 
     Experiment generators build declarative plans and hand them here, so
     one CLI invocation can swap the execution backend (``serial``,
-    ``batched``, ``process``) without touching the generators.
+    ``batched``, ``process``) without touching the generators.  Without
+    an explicit ``session`` the shared convenience session is used.
     """
 
-    return default_session().execute(plan, executor=executor, jobs=jobs)
+    return resolve_session(session).execute(plan, executor=executor, jobs=jobs)
 
 
-def make_runner(device: str, library: str, runs: int = 5) -> ProfileRunner:
-    """Shared (memoising) profile runner for a (device, library) pair."""
+def make_runner(
+    device: str, library: str, runs: int = 5, session: Optional[Session] = None
+) -> ProfileRunner:
+    """A session's shared (memoising) profile runner for a (device, library) pair."""
 
-    return default_session().runner(Target(device, library, runs=runs))
+    return resolve_session(session).runner(Target(device, library, runs=runs))
 
 
-def resnet_layer(index: int) -> ConvLayerRef:
+def resnet_layer(index: int, session: Optional[Session] = None) -> ConvLayerRef:
     """A profiled ResNet-50 layer reference by paper index."""
 
-    return default_session().network("resnet50").conv_layer(index)
+    return resolve_session(session).network("resnet50").conv_layer(index)
 
 
 def heatmap_experiment(
@@ -126,13 +154,14 @@ def heatmap_experiment(
     paper: Optional[Dict[str, float]] = None,
     runs: int = 3,
     layer_filter: Optional[Callable[[ConvLayerRef], bool]] = None,
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Build a heatmap-style experiment (Figures 1, 6, 8-11, 13, 16, 17, 19)."""
 
     refs = profiled_layer_refs(model)
     if layer_filter is not None:
         refs = [ref for ref in refs if layer_filter(ref)]
-    runner = make_runner(device, library, runs=runs)
+    runner = make_runner(device, library, runs=runs, session=session)
     matrix = speedup_matrix(runner, refs, prune_distances, metric=metric)
     measured = {
         "max_value": matrix.max_value,
@@ -170,11 +199,12 @@ def sweep_experiment(
     min_channels: int = 1,
     extra_channels=(),
     model: str = "resnet50",
+    session: Optional[Session] = None,
 ) -> ExperimentResult:
     """Build a latency-vs-channels sweep experiment (the line figures)."""
 
-    ref = default_session().network(model).conv_layer(layer_index)
-    runner = make_runner(device, library, runs=runs)
+    ref = resolve_session(session).network(model).conv_layer(layer_index)
+    runner = make_runner(device, library, runs=runs, session=session)
     counts = list(range(min_channels, ref.spec.out_channels + 1, step))
     counts.extend(extra_channels)
     counts.append(ref.spec.out_channels)
@@ -217,6 +247,7 @@ __all__ = [
     "make_runner",
     "reset_default_session",
     "resnet_layer",
+    "resolve_session",
     "set_default_profile_store",
     "swap_default_session",
     "sweep_experiment",

@@ -13,14 +13,17 @@ Usage::
     python -m repro.experiments store stats profiles.jsonl
     python -m repro.experiments store compact profiles.jsonl
 
-Experiments run through the shared :class:`repro.api.Session`
-(:func:`repro.experiments.base.default_session`), so a multi-experiment
-invocation profiles each layer configuration once.  ``run-plan``
-executes a serialized :class:`repro.api.Plan` under any registered
-executor backend; unknown experiment ids exit with status 2 and list
-the valid identifiers instead of dumping a traceback.  ``serve`` boots
-the long-lived :mod:`repro.service` HTTP front end and ``submit`` ships
-a plan file to it; ``store`` maintains a profile-store file.
+Each invocation builds its own :class:`repro.api.Session` and passes it
+to every experiment generator (``session=``), so a multi-experiment
+invocation profiles each layer configuration once and nothing leaks
+between runs through process-global state.  ``run-plan`` executes a
+serialized :class:`repro.api.Plan` under any registered executor
+backend (steps are scheduled over the plan's dependency graph; with
+``--executor process --jobs N`` independent steps of a wavefront run
+concurrently); unknown experiment ids exit with status 2 and list the
+valid identifiers instead of dumping a traceback.  ``serve`` boots the
+long-lived :mod:`repro.service` HTTP front end and ``submit`` ships a
+plan file to it; ``store`` maintains a profile-store file.
 """
 
 from __future__ import annotations
@@ -99,7 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="run-plan worker-process bound for the process executor",
+        help=(
+            "run-plan worker bound for the process executor: caps both "
+            "the measurement worker processes and the concurrent plan "
+            "steps per wavefront"
+        ),
     )
     parser.add_argument(
         "--seed",
@@ -180,11 +187,13 @@ def print_targets() -> None:
                 print(f"{device:<12} {library:<12} ok ({target.device_spec.api})")
 
 
-def run_many(experiment_ids: Iterable[str], fast: bool = False) -> List[ExperimentResult]:
-    """Run several experiments and return their results."""
+def run_many(
+    experiment_ids: Iterable[str], fast: bool = False, session=None
+) -> List[ExperimentResult]:
+    """Run several experiments (against one shared session) and return results."""
 
     return [
-        run_experiment(experiment_id, **_kwargs_for(experiment_id, fast))
+        run_experiment(experiment_id, session=session, **_kwargs_for(experiment_id, fast))
         for experiment_id in experiment_ids
     ]
 
@@ -206,6 +215,15 @@ def _step_result_payload(result: Any) -> Any:
     from ..service.results import step_result_payload
 
     return step_result_payload(result)
+
+
+def _print_simulation_summary(session) -> None:
+    """The one-line accounting contract the CI smoke jobs grep for."""
+
+    print(
+        f"simulated {session.simulation_count()} configuration(s) in-process"
+        + (f"; store: {session.store.stats()}" if session.store else "")
+    )
 
 
 def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
@@ -248,10 +266,7 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
             print(f"[{step.id}] {step.kind}")
             print(_describe_step_result(results[step.id]))
         print("-" * 72)
-        print(
-            f"simulated {session.simulation_count()} configuration(s) in-process"
-            + (f"; store: {session.store.stats()}" if session.store else "")
-        )
+        _print_simulation_summary(session)
         payloads.append({
             "plan": str(path),
             "executor": executor,
@@ -340,9 +355,10 @@ def submit_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     except ServiceError as error:
         print(str(error), file=sys.stderr)
         return 2
+    simulations = final.get("simulations")
     print(
         f"job {final['id']} {final['status']}; "
-        f"simulated {final.get('simulations')} configuration(s)"
+        f"simulated {0 if simulations is None else simulations} configuration(s)"
     )
     if final["status"] == "failed" and final.get("error"):
         print(final["error"], file=sys.stderr)
@@ -402,13 +418,6 @@ def main(argv: List[str] | None = None) -> int:
     if first == "store":
         return store_command(args.experiments[1:], args)
 
-    # Attach (or, when the flag is absent, detach) the persistent store:
-    # each invocation owns the shared session's store configuration, so a
-    # prior programmatic call's store cannot leak into this run.
-    from .base import set_default_profile_store
-
-    set_default_profile_store(args.profile_store or None)
-
     if len(args.experiments) == 1 and args.experiments[0].lower() == "list":
         for experiment_id in available_experiments():
             print(experiment_id)
@@ -418,11 +427,21 @@ def main(argv: List[str] | None = None) -> int:
         print_targets()
         return 0
 
+    # One session per invocation: experiments share its caches (a layer
+    # configuration profiled by one figure is a cache hit for the next)
+    # and nothing leaks into later programmatic calls through the
+    # process-global convenience session.
+    from ..api.session import Session
+
+    session = Session(max_cache_entries=None, store=args.profile_store or None)
+
     experiment_ids = _expand(args.experiments)
     results = []
     for experiment_id in experiment_ids:
         try:
-            result = run_experiment(experiment_id, **_kwargs_for(experiment_id, args.fast))
+            result = run_experiment(
+                experiment_id, session=session, **_kwargs_for(experiment_id, args.fast)
+            )
         except UnknownExperimentError as error:
             # The registry error already lists every valid identifier.
             print(str(error.args[0] if error.args else error), file=sys.stderr)
@@ -433,6 +452,8 @@ def main(argv: List[str] | None = None) -> int:
         print("-" * 72)
         print(result.summary())
         print()
+
+    _print_simulation_summary(session)
 
     if args.markdown:
         from .report import write_markdown_report

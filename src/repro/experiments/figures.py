@@ -10,7 +10,7 @@ are what EXPERIMENTS.md compares against the paper.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..analysis.speedup import (
     FIGURE1_PRUNE_DISTANCES,
@@ -18,6 +18,7 @@ from ..analysis.speedup import (
     TVM_PRUNE_DISTANCES,
 )
 from ..analysis.curves import curve_from_table
+from ..api.session import Session
 from ..api.target import Target
 from ..core.staircase import cluster_levels
 from ..gpusim.metrics import relative_system_counters
@@ -26,7 +27,6 @@ from ..gpusim.device import DEVICES
 from ..libraries.base import LIBRARIES
 from .base import (
     ExperimentResult,
-    default_session,
     execute_plan,
     heatmap_experiment,
     resnet_layer,
@@ -37,7 +37,7 @@ from .base import (
 # ---------------------------------------------------------------------------
 # Heatmap figures
 # ---------------------------------------------------------------------------
-def fig01(runs: int = 3) -> ExperimentResult:
+def fig01(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 1: maximum slowdown per ResNet-50 layer, ACL GEMM on Mali G72."""
 
     return heatmap_experiment(
@@ -52,10 +52,11 @@ def fig01(runs: int = 3) -> ExperimentResult:
         metric="slowdown",
         paper={"max_value": 1.9, "min_value": 0.8},
         runs=runs,
+        session=session,
     )
 
 
-def fig06(runs: int = 3) -> ExperimentResult:
+def fig06(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 6: speedups per ResNet-50 layer and distance, cuDNN on Jetson TX2."""
 
     return heatmap_experiment(
@@ -70,10 +71,11 @@ def fig06(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 3.3, "min_value": 1.0},
         runs=runs,
+        session=session,
     )
 
 
-def fig08(runs: int = 3) -> ExperimentResult:
+def fig08(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 8: speedups per VGG-16 layer, cuDNN on Jetson TX2."""
 
     return heatmap_experiment(
@@ -87,10 +89,11 @@ def fig08(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 2.8, "min_value": 0.9},
         runs=runs,
+        session=session,
     )
 
 
-def fig09(runs: int = 3) -> ExperimentResult:
+def fig09(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 9: speedups per AlexNet layer, cuDNN on Jetson TX2."""
 
     return heatmap_experiment(
@@ -104,10 +107,11 @@ def fig09(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 1.4, "min_value": 1.0},
         runs=runs,
+        session=session,
     )
 
 
-def fig10(runs: int = 3) -> ExperimentResult:
+def fig10(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 10: speedups per ResNet-50 layer, ACL Direct on HiKey 970."""
 
     return heatmap_experiment(
@@ -122,10 +126,11 @@ def fig10(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 16.9, "min_value": 0.2},
         runs=runs,
+        session=session,
     )
 
 
-def fig11(runs: int = 3) -> ExperimentResult:
+def fig11(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 11: speedups per VGG-16 layer, ACL Direct on HiKey 970."""
 
     return heatmap_experiment(
@@ -139,10 +144,11 @@ def fig11(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 14.7, "min_value": 0.8},
         runs=runs,
+        session=session,
     )
 
 
-def fig13(runs: int = 3) -> ExperimentResult:
+def fig13(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 13: speedups per ResNet-50 layer, ACL GEMM on HiKey 970."""
 
     return heatmap_experiment(
@@ -156,10 +162,11 @@ def fig13(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 5.2, "min_value": 0.8},
         runs=runs,
+        session=session,
     )
 
 
-def fig16(runs: int = 3) -> ExperimentResult:
+def fig16(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 16: speedups per VGG-16 layer, ACL GEMM on HiKey 970."""
 
     return heatmap_experiment(
@@ -173,10 +180,11 @@ def fig16(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 4.2, "min_value": 1.0},
         runs=runs,
+        session=session,
     )
 
 
-def fig17(runs: int = 3) -> ExperimentResult:
+def fig17(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 17: speedups per AlexNet layer, ACL GEMM on HiKey 970."""
 
     return heatmap_experiment(
@@ -190,10 +198,11 @@ def fig17(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 2.5, "min_value": 1.0},
         runs=runs,
+        session=session,
     )
 
 
-def fig19(runs: int = 3) -> ExperimentResult:
+def fig19(runs: int = 3, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 19: speedups per ResNet-50 layer, TVM on HiKey 970."""
 
     return heatmap_experiment(
@@ -208,13 +217,14 @@ def fig19(runs: int = 3) -> ExperimentResult:
         metric="speedup",
         paper={"max_value": 13.9, "min_value": 0.0},
         runs=runs,
+        session=session,
     )
 
 
 # ---------------------------------------------------------------------------
 # Latency-vs-channels sweep figures
 # ---------------------------------------------------------------------------
-def fig02(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig02(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 2: staircase for a large ResNet-50 layer, cuDNN on Jetson TX2."""
 
     return sweep_experiment(
@@ -228,10 +238,11 @@ def fig02(runs: int = 5, step: int = 1) -> ExperimentResult:
         paper={"spread": 8.0},
         runs=runs,
         step=step,
+        session=session,
     )
 
 
-def fig03(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig03(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 3: two parallel staircases, ResNet-50 L16, ACL GEMM on HiKey 970."""
 
     return sweep_experiment(
@@ -245,10 +256,11 @@ def fig03(runs: int = 5, step: int = 1) -> ExperimentResult:
         runs=runs,
         step=step,
         min_channels=16,
+        session=session,
     )
 
 
-def fig04(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig04(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 4: cuDNN staircase for ResNet-50 L16 on Jetson TX2 (1.3x step)."""
 
     result = sweep_experiment(
@@ -261,6 +273,7 @@ def fig04(runs: int = 5, step: int = 1) -> ExperimentResult:
         runs=runs,
         step=step,
         extra_channels=(64, 96, 97, 128),
+        session=session,
     )
     counts = result.data["channel_counts"]
     times = result.data["times_ms"]
@@ -271,7 +284,7 @@ def fig04(runs: int = 5, step: int = 1) -> ExperimentResult:
     return result
 
 
-def fig05(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig05(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 5: cuDNN staircase for ResNet-50 L14 (512 filters) on Jetson TX2."""
 
     return sweep_experiment(
@@ -284,26 +297,27 @@ def fig05(runs: int = 5, step: int = 1) -> ExperimentResult:
         paper={"spread": 7.0},
         runs=runs,
         step=step,
+        session=session,
     )
 
 
-def fig07(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig07(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 7: the same staircase on the Jetson Nano (ResNet-50 L14).
 
     The comparison is expressed as a declarative one-step
     :class:`repro.api.Plan` fanning one layer across both Jetson
-    targets, executed through the shared session's executor backend —
-    the same JSON-serializable job ``repro-experiments run-plan`` runs.
+    targets, executed through the session's executor backend — the same
+    JSON-serializable job ``repro-experiments run-plan`` runs.
     """
 
     from ..api.plan import Plan
 
-    ref = resnet_layer(14)
+    ref = resnet_layer(14, session=session)
     nano = Target("jetson-nano", "cudnn", runs=runs)
     tx2 = Target("jetson-tx2", "cudnn", runs=runs)
     plan = Plan()
     sweep_step_node = plan.sweep((nano, tx2), ref.spec, sweep_step=step)
-    table = execute_plan(plan)[sweep_step_node.id]
+    table = execute_plan(plan, session=session)[sweep_step_node.id]
     curve = curve_from_table(table.profile(nano, ref.spec.name).table, ref.label)
     tx2_curve = curve_from_table(table.profile(tx2, ref.spec.name).table, ref.label)
 
@@ -339,7 +353,7 @@ def fig07(runs: int = 5, step: int = 1) -> ExperimentResult:
     )
 
 
-def fig12(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig12(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 12: three alternating execution levels, ACL Direct, HiKey 970."""
 
     result = sweep_experiment(
@@ -353,6 +367,7 @@ def fig12(runs: int = 5, step: int = 1) -> ExperimentResult:
         runs=runs,
         step=step,
         min_channels=64,
+        session=session,
     )
     times = result.data["times_ms"]
     tail = times[-min(len(times), 96):]
@@ -363,7 +378,7 @@ def fig12(runs: int = 5, step: int = 1) -> ExperimentResult:
     return result
 
 
-def fig14(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig14(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 14: ACL GEMM parallel staircases with annotated points (L16)."""
 
     result = sweep_experiment(
@@ -378,6 +393,7 @@ def fig14(runs: int = 5, step: int = 1) -> ExperimentResult:
         step=step,
         min_channels=16,
         extra_channels=(76, 78, 92, 93, 96, 97),
+        session=session,
     )
     series = dict(zip(result.data["channel_counts"], result.data["times_ms"]))
     result.measured["gap_92_vs_93"] = series[92] / series[93]
@@ -389,7 +405,7 @@ def fig14(runs: int = 5, step: int = 1) -> ExperimentResult:
     return result
 
 
-def fig15(runs: int = 5, step: int = 4) -> ExperimentResult:
+def fig15(runs: int = 5, step: int = 4, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 15: large latency gap between 2024 and 2036 channels (L45)."""
 
     result = sweep_experiment(
@@ -403,6 +419,7 @@ def fig15(runs: int = 5, step: int = 4) -> ExperimentResult:
         step=step,
         min_channels=1024,
         extra_channels=(2024, 2036),
+        session=session,
     )
     series = dict(zip(result.data["channel_counts"], result.data["times_ms"]))
     result.measured["gap_2036_vs_2024"] = series[2036] / series[2024]
@@ -410,7 +427,7 @@ def fig15(runs: int = 5, step: int = 4) -> ExperimentResult:
     return result
 
 
-def fig20(runs: int = 5, step: int = 1) -> ExperimentResult:
+def fig20(runs: int = 5, step: int = 1, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 20: TVM fallback spikes for ResNet-50 L14 on HiKey 970."""
 
     result = sweep_experiment(
@@ -424,6 +441,7 @@ def fig20(runs: int = 5, step: int = 1) -> ExperimentResult:
         paper={"local_spike_ratio": 10.5},
         runs=runs,
         step=step,
+        session=session,
     )
     times = result.data["times_ms"]
     # Spikes are measured against the tuned neighbourhood (window of 17
@@ -445,10 +463,10 @@ def fig20(runs: int = 5, step: int = 1) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 # Figure 18: system-level counters from the GPU simulator
 # ---------------------------------------------------------------------------
-def fig18(runs: int = 5) -> ExperimentResult:
+def fig18(runs: int = 5, session: Optional[Session] = None) -> ExperimentResult:
     """Figure 18: relative system-level counters for 92/93/96/97 channels."""
 
-    ref = resnet_layer(16)
+    ref = resnet_layer(16, session=session)
     device = DEVICES.get("hikey-970")
     library = LIBRARIES.create("acl-gemm")
     simulator = GpuSimulator(device)

@@ -19,20 +19,20 @@ proposal on the simulated targets:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..api.session import Session
+from ..api.target import Target
 from ..core.accuracy_model import default_accuracy_model
 from ..core.criteria import CRITERIA, available_criteria
-from ..core.perf_aware import PerformanceAwarePruner
 from ..core.pruner import ChannelPruner
 from ..core.search import PruningSearch
 from ..gpusim.device import DEVICES
 from ..gpusim.simulator import GpuSimulator
 from ..libraries.base import LIBRARIES
-from ..models.zoo import MODELS
 from ..nn.inference import InferenceEngine
 from ..nn.tensor import conv_input, conv_weights
-from .base import ExperimentResult, resnet_layer
+from .base import ExperimentResult, resnet_layer, resolve_session
 
 #: Layers used for the whole-network proposal experiments: a cross
 #: section of ResNet-50 shapes that keeps the experiments fast.
@@ -47,18 +47,21 @@ PROPOSAL_TARGETS = (
 )
 
 
-def proposal_comparison(fraction: float = 0.12, runs: int = 3) -> ExperimentResult:
+def proposal_comparison(
+    fraction: float = 0.12, runs: int = 3, session: Optional[Session] = None
+) -> ExperimentResult:
     """Performance-aware vs uninstructed pruning at ~12% compression.
 
     The fraction matches the paper's motivating example ("pruning 12% of
     the initial size is in some cases detrimental to performance").
     """
 
-    network = MODELS.create("resnet50")
+    session = resolve_session(session)
+    network = session.network("resnet50")
     rows = []
     measured: Dict[str, float] = {}
     for device_name, library_name in PROPOSAL_TARGETS:
-        pruner = PerformanceAwarePruner(device_name, library_name, runs=runs)
+        pruner = session.pruner(Target(device_name, library_name, runs=runs))
         comparison = pruner.compare_with_uninstructed(
             network, fraction, layer_indices=list(PROPOSAL_LAYERS)
         )
@@ -113,12 +116,15 @@ def proposal_comparison(fraction: float = 0.12, runs: int = 3) -> ExperimentResu
     )
 
 
-def proposal_pareto(runs: int = 3) -> ExperimentResult:
+def proposal_pareto(
+    runs: int = 3, session: Optional[Session] = None
+) -> ExperimentResult:
     """Latency/accuracy Pareto frontier over step-optimal configurations."""
 
-    network = MODELS.create("resnet50")
+    session = resolve_session(session)
+    network = session.network("resnet50")
     layer_indices = [15, 16]
-    pruner = PerformanceAwarePruner("hikey-970", "acl-gemm", runs=runs)
+    pruner = session.pruner(Target("hikey-970", "acl-gemm", runs=runs))
     search = PruningSearch(
         pruner=pruner,
         network=network,
@@ -163,10 +169,12 @@ def proposal_pareto(runs: int = 3) -> ExperimentResult:
     )
 
 
-def ablation_criteria(runs: int = 3) -> ExperimentResult:
+def ablation_criteria(
+    runs: int = 3, session: Optional[Session] = None
+) -> ExperimentResult:
     """Latency is independent of which channels are pruned (criterion ablation)."""
 
-    ref = resnet_layer(16)
+    ref = resnet_layer(16, session=session)
     device = DEVICES.get("hikey-970")
     library = LIBRARIES.create("acl-gemm")
     simulator = GpuSimulator(device)
@@ -224,10 +232,12 @@ def ablation_criteria(runs: int = 3) -> ExperimentResult:
     )
 
 
-def ablation_dispatch_overhead(runs: int = 3) -> ExperimentResult:
+def ablation_dispatch_overhead(
+    runs: int = 3, session: Optional[Session] = None
+) -> ExperimentResult:
     """The parallel-staircase gap scales with the job-dispatch overhead."""
 
-    ref = resnet_layer(16)
+    ref = resnet_layer(16, session=session)
     library = LIBRARIES.create("acl-gemm")
     base_device = DEVICES.get("hikey-970")
     scales = (0.0, 0.5, 1.0, 2.0, 4.0)

@@ -12,7 +12,7 @@ counts are slower despite executing only ~1% more instructions).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..gpusim.device import DEVICES
 from ..gpusim.kernel import KernelPlan
@@ -24,6 +24,7 @@ from ..gpusim.metrics import (
 )
 from ..gpusim.simulator import GpuSimulator
 from ..libraries.base import LIBRARIES
+from ..api.session import Session
 from .base import ExperimentResult, resnet_layer
 
 #: The values printed in the paper's Tables I-IV, keyed by channel count.
@@ -66,18 +67,22 @@ _TABLE_CHANNELS = {"table1": 92, "table2": 93, "table3": 96, "table4": 97}
 _ROMAN = {"table1": "I", "table2": "II", "table3": "III", "table4": "IV", "table5": "V"}
 
 
-def plan_for_channels(channels: int) -> KernelPlan:
+def plan_for_channels(
+    channels: int, session: Optional[Session] = None
+) -> KernelPlan:
     """ACL GEMM kernel plan for ResNet-50 layer 16 at a channel count."""
 
-    ref = resnet_layer(16)
+    ref = resnet_layer(16, session=session)
     device = DEVICES.get("hikey-970")
     library = LIBRARIES.create("acl-gemm")
     return library.plan_with_channels(ref.spec, channels, device)
 
 
-def _instruction_table_experiment(table_id: str) -> ExperimentResult:
+def _instruction_table_experiment(
+    table_id: str, session: Optional[Session] = None
+) -> ExperimentResult:
     channels = _TABLE_CHANNELS[table_id]
-    plan = plan_for_channels(channels)
+    plan = plan_for_channels(channels, session=session)
     rows = kernel_instruction_table(plan)
     expected = PAPER_TABLES[channels]
 
@@ -122,34 +127,34 @@ def _instruction_table_experiment(table_id: str) -> ExperimentResult:
     )
 
 
-def table1() -> ExperimentResult:
+def table1(session: Optional[Session] = None) -> ExperimentResult:
     """Table I: ACL GEMM kernels for layer 16 with 92 output channels."""
 
-    return _instruction_table_experiment("table1")
+    return _instruction_table_experiment("table1", session=session)
 
 
-def table2() -> ExperimentResult:
+def table2(session: Optional[Session] = None) -> ExperimentResult:
     """Table II: ACL GEMM kernels for layer 16 with 93 output channels."""
 
-    return _instruction_table_experiment("table2")
+    return _instruction_table_experiment("table2", session=session)
 
 
-def table3() -> ExperimentResult:
+def table3(session: Optional[Session] = None) -> ExperimentResult:
     """Table III: ACL GEMM kernels for layer 16 with 96 output channels."""
 
-    return _instruction_table_experiment("table3")
+    return _instruction_table_experiment("table3", session=session)
 
 
-def table4() -> ExperimentResult:
+def table4(session: Optional[Session] = None) -> ExperimentResult:
     """Table IV: ACL GEMM kernels for layer 16 with 97 output channels."""
 
-    return _instruction_table_experiment("table4")
+    return _instruction_table_experiment("table4", session=session)
 
 
-def table5() -> ExperimentResult:
+def table5(session: Optional[Session] = None) -> ExperimentResult:
     """Table V: ACL Direct workgroup sizes and runtimes for 90-93 channels."""
 
-    ref = resnet_layer(16)
+    ref = resnet_layer(16, session=session)
     device = DEVICES.get("hikey-970")
     library = LIBRARIES.create("acl-direct")
     simulator = GpuSimulator(device)

@@ -16,6 +16,7 @@ across processes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
@@ -121,6 +122,11 @@ class ProfileRunner:
     ``max_cache_entries`` entries (oldest-inserted evicted first; pass
     ``None`` for unbounded), so a long-lived runner cannot grow without
     limit.
+
+    Runners are thread-safe: measurement, adoption and prefetching are
+    serialized per runner, so concurrent plan steps hammering the same
+    (device, library) pair simulate each configuration exactly once and
+    record it to the store exactly once.
     """
 
     device: DeviceSpec
@@ -135,6 +141,11 @@ class ProfileRunner:
     seed: int = 0
     _cache: "OrderedDict[Tuple[str, int], Measurement]" = field(
         default_factory=OrderedDict, repr=False
+    )
+    #: Serializes cache mutation, simulation and store traffic; RLock so
+    #: the public entry points may call each other.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
     )
 
     @classmethod
@@ -179,11 +190,11 @@ class ProfileRunner:
         """Median latency of a layer pruned to ``out_channels`` filters."""
 
         channels = layer.out_channels if out_channels is None else out_channels
-        key = self._cache_key(layer, channels)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        return self.measure_many(layer, [channels])[0]
+        with self._lock:
+            cached = self._cache.get(self._cache_key(layer, channels))
+            if cached is not None:
+                return cached
+            return self.measure_many(layer, [channels])[0]
 
     def measure_many(
         self, layer: ConvLayerSpec, channel_counts: Iterable[int]
@@ -201,35 +212,36 @@ class ProfileRunner:
         for count in requested:
             if count < 1:
                 raise ValueError(f"out_channels must be >= 1, got {count}")
-        # Resolve against a local view so results survive even when the
-        # bounded cache evicts entries of this very sweep.
-        resolved: Dict[int, Measurement] = {}
-        missing = []
-        for count in dict.fromkeys(requested):
-            cached = self._cache.get(self._cache_key(layer, count))
-            if cached is not None:
-                resolved[count] = cached
-            else:
-                missing.append(count)
-        if missing and self.store is not None:
-            stored, missing = self.store.lookup(
-                self.device.name, self.library.name, self.runs, layer, missing,
-                seed=self.seed,
-            )
-            for count, measurement in stored.items():
-                resolved[count] = measurement
-                self._remember(layer, count, measurement)
-        if missing:
-            fresh = self._measure_batch(layer, missing)
-            for measurement in fresh:
-                resolved[measurement.out_channels] = measurement
-                self._remember(layer, measurement.out_channels, measurement)
-            if self.store is not None:
-                self.store.record(
-                    self.device.name, self.library.name, self.runs, layer, fresh,
+        with self._lock:
+            # Resolve against a local view so results survive even when
+            # the bounded cache evicts entries of this very sweep.
+            resolved: Dict[int, Measurement] = {}
+            missing = []
+            for count in dict.fromkeys(requested):
+                cached = self._cache.get(self._cache_key(layer, count))
+                if cached is not None:
+                    resolved[count] = cached
+                else:
+                    missing.append(count)
+            if missing and self.store is not None:
+                stored, missing = self.store.lookup(
+                    self.device.name, self.library.name, self.runs, layer, missing,
                     seed=self.seed,
                 )
-        return [resolved[count] for count in requested]
+                for count, measurement in stored.items():
+                    resolved[count] = measurement
+                    self._remember(layer, count, measurement)
+            if missing:
+                fresh = self._measure_batch(layer, missing)
+                for measurement in fresh:
+                    resolved[measurement.out_channels] = measurement
+                    self._remember(layer, measurement.out_channels, measurement)
+                if self.store is not None:
+                    self.store.record(
+                        self.device.name, self.library.name, self.runs, layer, fresh,
+                        seed=self.seed,
+                    )
+            return [resolved[count] for count in requested]
 
     def _remember(self, layer: ConvLayerSpec, count: int, measurement: Measurement) -> None:
         self._cache[self._cache_key(layer, count)] = measurement
@@ -295,19 +307,20 @@ class ProfileRunner:
         touches the simulator only for the returned ones.
         """
 
-        missing = [
-            count
-            for count in dict.fromkeys(int(count) for count in channel_counts)
-            if self._cache.get(self._cache_key(layer, count)) is None
-        ]
-        if missing and self.store is not None:
-            stored, missing = self.store.lookup(
-                self.device.name, self.library.name, self.runs, layer, missing,
-                seed=self.seed,
-            )
-            for count, measurement in stored.items():
-                self._remember(layer, count, measurement)
-        return missing
+        with self._lock:
+            missing = [
+                count
+                for count in dict.fromkeys(int(count) for count in channel_counts)
+                if self._cache.get(self._cache_key(layer, count)) is None
+            ]
+            if missing and self.store is not None:
+                stored, missing = self.store.lookup(
+                    self.device.name, self.library.name, self.runs, layer, missing,
+                    seed=self.seed,
+                )
+                for count, measurement in stored.items():
+                    self._remember(layer, count, measurement)
+            return missing
 
     def adopt(self, layer: ConvLayerSpec, measurements: Iterable[Measurement]) -> int:
         """Inject measurements made elsewhere (e.g. a worker process).
@@ -317,19 +330,21 @@ class ProfileRunner:
         if this runner had measured them.  Returns the number adopted.
         """
 
-        fresh = [
-            measurement
-            for measurement in measurements
-            if self._cache.get(self._cache_key(layer, measurement.out_channels)) is None
-        ]
-        for measurement in fresh:
-            self._remember(layer, measurement.out_channels, measurement)
-        if fresh and self.store is not None:
-            self.store.record(
-                self.device.name, self.library.name, self.runs, layer, fresh,
-                seed=self.seed,
-            )
-        return len(fresh)
+        with self._lock:
+            fresh = [
+                measurement
+                for measurement in measurements
+                if self._cache.get(self._cache_key(layer, measurement.out_channels))
+                is None
+            ]
+            for measurement in fresh:
+                self._remember(layer, measurement.out_channels, measurement)
+            if fresh and self.store is not None:
+                self.store.record(
+                    self.device.name, self.library.name, self.runs, layer, fresh,
+                    seed=self.seed,
+                )
+            return len(fresh)
 
     def prefetch(
         self, sweeps: Iterable[Tuple[ConvLayerSpec, Iterable[int]]]
@@ -341,18 +356,23 @@ class ProfileRunner:
         Returns the number of configurations actually simulated.
         """
 
-        pairs: List[Tuple[ConvLayerSpec, int]] = []
-        for layer, counts in sweeps:
-            pairs.extend((layer, count) for count in self.pending_counts(layer, counts))
-        if not pairs:
-            return 0
-        fresh = self._measure_pairs(pairs)
-        by_layer: "OrderedDict[int, Tuple[ConvLayerSpec, List[Measurement]]]" = OrderedDict()
-        for (layer, _), measurement in zip(pairs, fresh):
-            by_layer.setdefault(id(layer), (layer, []))[1].append(measurement)
-        for layer, measurements in by_layer.values():
-            self.adopt(layer, measurements)
-        return len(fresh)
+        with self._lock:
+            pairs: List[Tuple[ConvLayerSpec, int]] = []
+            for layer, counts in sweeps:
+                pairs.extend(
+                    (layer, count) for count in self.pending_counts(layer, counts)
+                )
+            if not pairs:
+                return 0
+            fresh = self._measure_pairs(pairs)
+            by_layer: "OrderedDict[int, Tuple[ConvLayerSpec, List[Measurement]]]" = (
+                OrderedDict()
+            )
+            for (layer, _), measurement in zip(pairs, fresh):
+                by_layer.setdefault(id(layer), (layer, []))[1].append(measurement)
+            for layer, measurements in by_layer.values():
+                self.adopt(layer, measurements)
+            return len(fresh)
 
     # ------------------------------------------------------------------
     def measure_channels(

@@ -32,8 +32,13 @@ sweep under its grouping key::
 * Lines that fail to parse are ignored (a truncated final line from a
   killed process does not poison the store).
 
-Multi-process safety
---------------------
+Multi-thread and multi-process safety
+-------------------------------------
+Within one process, every index read/mutation happens under an internal
+lock, so one store object may serve concurrent scheduler threads (the
+process executor runs a wavefront's steps in parallel) without lost
+updates or torn counters.  Across processes:
+
 Appends happen as a single :func:`write` of the whole line under an
 advisory ``flock`` (where the platform provides one), so two processes
 recording into the same store cannot interleave partial lines.  Reads
@@ -49,6 +54,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -102,6 +108,9 @@ class ProfileStore:
         self.misses = 0
         self.writes = 0
         self.skipped_lines = 0
+        # Guards the in-memory index and the counters against concurrent
+        # scheduler threads; the file itself is flock-guarded separately.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Loading
@@ -130,26 +139,28 @@ class ProfileStore:
         return key, measurements, payload
 
     def _load(self) -> Dict[_GroupKey, Dict[int, Measurement]]:
-        if self._index is not None:
-            return self._index
-        index: Dict[_GroupKey, Dict[int, Measurement]] = {}
-        if self.path.exists():
-            with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    parsed = self._parse_line(line)
-                    if parsed is None:
-                        continue
-                    key, measurements, _ = parsed
-                    group = index.setdefault(key, {})
-                    for measurement in measurements:
-                        group[measurement.out_channels] = measurement
-        self._index = index
-        return index
+        with self._lock:
+            if self._index is not None:
+                return self._index
+            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        parsed = self._parse_line(line)
+                        if parsed is None:
+                            continue
+                        key, measurements, _ = parsed
+                        group = index.setdefault(key, {})
+                        for measurement in measurements:
+                            group[measurement.out_channels] = measurement
+            self._index = index
+            return index
 
     def __len__(self) -> int:
         """Number of stored (configuration -> measurement) entries."""
 
-        return sum(len(group) for group in self._load().values())
+        with self._lock:
+            return sum(len(group) for group in self._load().values())
 
     # ------------------------------------------------------------------
     # Lookup and record
@@ -171,18 +182,19 @@ class ProfileStore:
     ) -> Tuple[Dict[int, Measurement], List[int]]:
         """Split a sweep into (stored measurements, counts still to measure)."""
 
-        group = self._load().get(self._key(device, library, runs, spec, seed), {})
-        found: Dict[int, Measurement] = {}
-        missing: List[int] = []
-        for count in channel_counts:
-            measurement = group.get(count)
-            if measurement is None:
-                missing.append(count)
-            else:
-                found[count] = measurement
-        self.hits += len(found)
-        self.misses += len(missing)
-        return found, missing
+        with self._lock:
+            group = self._load().get(self._key(device, library, runs, spec, seed), {})
+            found: Dict[int, Measurement] = {}
+            missing: List[int] = []
+            for count in channel_counts:
+                measurement = group.get(count)
+                if measurement is None:
+                    missing.append(count)
+                else:
+                    found[count] = measurement
+            self.hits += len(found)
+            self.misses += len(missing)
+            return found, missing
 
     def record(
         self,
@@ -215,18 +227,19 @@ class ProfileStore:
             "sweep": [measurement.out_channels for measurement in measurements],
             "measurements": [measurement.as_dict() for measurement in measurements],
         }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(payload) + "\n"
-        handle = self._open_locked_for_append()
-        try:
-            handle.write(line)
-            handle.flush()
-        finally:
-            self._unlock_and_close(handle)
-        group = self._load().setdefault(key, {})
-        for measurement in measurements:
-            group[measurement.out_channels] = measurement
-        self.writes += len(measurements)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            handle = self._open_locked_for_append()
+            try:
+                handle.write(line)
+                handle.flush()
+            finally:
+                self._unlock_and_close(handle)
+            group = self._load().setdefault(key, {})
+            for measurement in measurements:
+                group[measurement.out_channels] = measurement
+            self.writes += len(measurements)
 
     def _open_locked_for_append(self):
         """Open the store for appending under an advisory exclusive lock.
@@ -274,6 +287,10 @@ class ProfileStore:
         unreadable measurement entries dropped.
         """
 
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
         if not self.path.exists():
             self._index = {}
             return 0
@@ -338,26 +355,27 @@ class ProfileStore:
             "lines": 0, "unreadable": 0, "measurements": 0,
             "entries": 0, "superseded": 0, "bytes": 0,
         }
-        if not self.path.exists():
-            return stats
-        stats["bytes"] = self.path.stat().st_size
-        skipped_before = self.skipped_lines
-        index: Dict[_GroupKey, Dict[int, Measurement]] = {}
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                stats["lines"] += 1
-                parsed = self._parse_line(line)
-                if parsed is None:
-                    stats["unreadable"] += 1
-                    continue
-                key, measurements, _ = parsed
-                stats["measurements"] += len(measurements)
-                group = index.setdefault(key, {})
-                for measurement in measurements:
-                    group[measurement.out_channels] = measurement
-        self.skipped_lines = skipped_before
+        with self._lock:
+            if not self.path.exists():
+                return stats
+            stats["bytes"] = self.path.stat().st_size
+            skipped_before = self.skipped_lines
+            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+            with self.path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    stats["lines"] += 1
+                    parsed = self._parse_line(line)
+                    if parsed is None:
+                        stats["unreadable"] += 1
+                        continue
+                    key, measurements, _ = parsed
+                    stats["measurements"] += len(measurements)
+                    group = index.setdefault(key, {})
+                    for measurement in measurements:
+                        group[measurement.out_channels] = measurement
+            self.skipped_lines = skipped_before
         stats["entries"] = sum(len(group) for group in index.values())
         stats["superseded"] = (
             stats["measurements"] + stats["unreadable"] - stats["entries"]
@@ -366,13 +384,14 @@ class ProfileStore:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "entries": len(self),
-            "skipped_lines": self.skipped_lines,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "entries": len(self),
+                "skipped_lines": self.skipped_lines,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -2,13 +2,18 @@
 
 Each worker pulls a queued job id, builds a **fresh**
 :class:`~repro.api.Session` for it (sharing only the on-disk profile
-store with every other job) and executes the plan one step at a time
-through :meth:`Session.execute` under the job's executor backend.  Per
-step granularity is what gives the service its live ``step-started`` /
-``step-finished`` event stream and step-boundary cancellation; results
-stay bitwise identical to executing the whole plan at once because the
-session (and its caches, noise stream and store) persists across the
-steps of a job.
+store with every other job) and executes the plan one step at a time —
+in dependency-scheduled wavefront order (see
+:mod:`repro.api.scheduler`) — through :meth:`Session.execute` under the
+job's executor backend.  Per step granularity is what gives the service
+its live ``step-started`` / ``step-finished`` event stream and
+step-boundary cancellation; results stay bitwise identical to executing
+the whole plan at once because the session (and its caches, noise
+stream and store) persists across the steps of a job.  Since every step
+kind — including ``figure`` steps, which receive the job's session
+explicitly — touches only job-local state, workers never serialize
+against each other: a multi-worker queue runs any two jobs' steps truly
+in parallel.
 
 Failure isolation is per job: an exception inside a step marks that
 step and its job ``failed`` — traceback string in the job record — and
@@ -27,23 +32,17 @@ import queue as _stdlib_queue
 import threading
 import time
 import traceback
-from contextlib import nullcontext
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..api.plan import Plan, PlanError, Step
+from ..api.scheduler import scheduled_order
 from ..api.session import Session
 from .jobs import Job, JobStore
 from .results import step_result_payload
 
 #: Wakes idle workers so they can notice the shutdown flag.
 _POLL_SECONDS = 0.1
-
-#: ``figure`` steps swap the process-global experiment session (see
-#: :func:`repro.api.executor._run_figure`); this lock serializes them so
-#: a multi-worker queue cannot interleave two swaps and run a figure
-#: against the wrong session.
-_FIGURE_LOCK = threading.Lock()
 
 
 class QueueClosedError(RuntimeError):
@@ -67,9 +66,10 @@ class JobQueue:
         Default :data:`~repro.api.executor.EXECUTORS` backend name and
         worker bound applied to submissions that do not choose their own.
     workers:
-        Worker thread count (default 1).  ``figure`` steps are
-        serialized across workers (they swap the process-global
-        experiment session); all other step kinds run concurrently.
+        Worker thread count (default 1).  Every step kind runs
+        concurrently across workers — ``figure`` steps included, since
+        experiment generators receive the job's session explicitly
+        instead of swapping a process-global one.
     """
 
     def __init__(
@@ -209,7 +209,10 @@ class JobQueue:
             self.store.finish(job_id, "failed", error=f"invalid stored plan: {error}")
             return
         session = Session(store=self.profile_store, seed=job.seed)
-        for step in plan:
+        # Dependency-scheduled order: a valid topological order whose
+        # wavefront structure matches what the executors use, so the
+        # event stream reflects when a step *could* start.
+        for step in scheduled_order(plan):
             if self.store.get(job_id).cancel_requested:
                 self.store.finish(
                     job_id, "cancelled", simulations=session.simulation_count()
@@ -240,11 +243,9 @@ class JobQueue:
             # ran in this job, against this session.
             single = Plan()
             single.add(Step(id=step.id, kind=step.kind, params=step.params))
-            guard = _FIGURE_LOCK if step.kind == "figure" else nullcontext()
-            with guard:
-                raw = session.execute(
-                    single, executor=job.executor, jobs=job.jobs
-                )[step.id]
+            raw = session.execute(
+                single, executor=job.executor, jobs=job.jobs
+            )[step.id]
             payload = step_result_payload(raw)
         except Exception:
             error = traceback.format_exc()

@@ -56,3 +56,78 @@ class TestShimsWarn:
         with pytest.warns(DeprecationWarning) as records:
             get_device("hikey-970")
         assert records[0].filename == __file__
+
+
+class TestSessionShimsWarn:
+    """The process-global experiment-session mutators are deprecated in
+    favour of the explicit ``session=`` parameter."""
+
+    def test_swap_default_session_warns_and_still_swaps(self):
+        from repro.api import Session
+        from repro.experiments import base
+
+        original = base.default_session()
+        replacement = Session()
+        with pytest.warns(DeprecationWarning, match="swap_default_session"):
+            previous = base.swap_default_session(replacement)
+        assert previous is original
+        assert base.default_session() is replacement
+        with pytest.warns(DeprecationWarning, match="swap_default_session"):
+            base.swap_default_session(previous)
+        assert base.default_session() is original
+
+    def test_reset_default_session_warns_and_still_resets(self):
+        from repro.experiments import base
+
+        with pytest.warns(DeprecationWarning, match="reset_default_session"):
+            fresh = base.reset_default_session()
+        assert base.default_session() is fresh
+
+    def test_session_less_generator_still_runs_via_figure_step(self):
+        """A third-party generator registered without a ``session``
+        parameter keeps working as a plan figure step: the plan session
+        is installed as the default for the call (with a warning), then
+        restored."""
+
+        from repro.api import Plan, Session
+        from repro.experiments import base
+        from repro.experiments.base import ExperimentResult
+        from repro.experiments.registry import EXPERIMENTS
+
+        seen = []
+
+        def legacy_probe(runs=1):
+            seen.append(base.default_session())
+            return ExperimentResult(
+                experiment_id="legacy_probe", title="legacy", description="",
+                data={}, text="", measured={"runs": float(runs)},
+            )
+
+        if "test-legacy-figure" not in EXPERIMENTS:
+            EXPERIMENTS.register("test-legacy-figure", legacy_probe)
+
+        original_default = base.default_session()
+        plan = Plan()
+        step = plan.figure("test-legacy-figure", runs=2)
+        session = Session()
+        with pytest.warns(DeprecationWarning, match="session parameter"):
+            result = session.execute(plan, executor="serial")[step.id]
+        assert result.measured == {"runs": 2.0}
+        # The generator saw the plan session, and the default came back.
+        assert seen == [session]
+        assert base.default_session() is original_default
+
+    def test_no_internal_caller_uses_the_deprecated_mutators(self):
+        """Running a figure step through a plan session must not warn:
+        the executor passes ``session=`` instead of swapping globals."""
+
+        import warnings
+
+        from repro.api import Plan, Session
+
+        plan = Plan()
+        step = plan.figure("table1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = Session().execute(plan, executor="serial")[step.id]
+        assert result.experiment_id == "table1"

@@ -164,45 +164,41 @@ class TestSeedOverride:
 
 class TestFigureSteps:
     def test_figure_step_runs_an_experiment(self):
-        from repro.experiments.base import reset_default_session
-
-        reset_default_session()
-        try:
-            plan = Plan()
-            step = plan.figure("table1")
-            results = Session().execute(plan, executor="serial")
-            assert results[step.id].experiment_id == "table1"
-        finally:
-            reset_default_session()
+        plan = Plan()
+        step = plan.figure("table1")
+        results = Session().execute(plan, executor="serial")
+        assert results[step.id].experiment_id == "table1"
 
     def test_figure_step_uses_the_plan_sessions_store(self, tmp_path):
-        from repro.experiments.base import reset_default_session
+        path = tmp_path / "profiles.jsonl"
+        plan = Plan()
+        plan.figure("fig04", runs=3, step=17)
+        session = Session(store=path)
+        session.execute(plan, executor="serial")
+        assert path.exists()
+        assert session.simulation_count() > 0
+        # The shared convenience session was never touched: figure steps
+        # receive the plan session explicitly instead of swapping a
+        # process-global one.
+        from repro.experiments.base import default_session
 
-        reset_default_session()
-        try:
-            path = tmp_path / "profiles.jsonl"
-            plan = Plan()
-            plan.figure("fig04", runs=3, step=17)
-            session = Session(store=path)
-            session.execute(plan, executor="serial")
-            assert path.exists()
-            # The shared experiment session was restored afterwards.
-            from repro.experiments.base import default_session
-
-            assert default_session().store is None
-            assert session.simulation_count() > 0
-        finally:
-            reset_default_session()
+        assert default_session().store is None
 
     def test_figure_step_honours_the_session_seed(self):
-        from repro.experiments.base import reset_default_session
+        plan = Plan()
+        step = plan.figure("fig04", runs=3, step=17)
+        base = Session().execute(plan, executor="serial")[step.id]
+        forked = Session(seed=5).execute(plan, executor="serial")[step.id]
+        assert base.measured != forked.measured
 
-        reset_default_session()
-        try:
-            plan = Plan()
-            step = plan.figure("fig04", runs=3, step=17)
-            base = Session().execute(plan, executor="serial")[step.id]
-            forked = Session(seed=5).execute(plan, executor="serial")[step.id]
-            assert base.measured != forked.measured
-        finally:
-            reset_default_session()
+    def test_figure_step_leaves_the_default_session_cold(self):
+        from repro.experiments.base import default_session
+
+        session = Session()
+        plan = Plan()
+        step = plan.figure("fig04", runs=3, step=17)
+        before = default_session().simulation_count()
+        result = session.execute(plan, executor="serial")[step.id]
+        assert result.experiment_id == "fig04"
+        assert session.simulation_count() > 0
+        assert default_session().simulation_count() == before

@@ -1,5 +1,5 @@
 """Tests for the JobQueue worker pool: execution, failure isolation,
-cancellation and graceful shutdown."""
+cancellation, figure-step concurrency and graceful shutdown."""
 
 import threading
 import time
@@ -8,6 +8,8 @@ import pytest
 
 from repro.api import Plan, PruningRequest, Session, Target
 from repro.api.executor import EXECUTORS, SerialExecutor, UnknownExecutorError
+from repro.experiments.base import ExperimentResult, resolve_session
+from repro.experiments.registry import EXPERIMENTS
 from repro.models import ConvLayerSpec
 from repro.service.jobs import JobStore
 from repro.service.queue import JobQueue, QueueClosedError
@@ -19,6 +21,40 @@ LAYER = ConvLayerSpec(
     name="test.service.conv", in_channels=16, out_channels=24,
     kernel_size=3, stride=1, padding=1, input_hw=14,
 )
+
+
+class OverlapGate:
+    """Rendezvous for the figure-concurrency regression test.
+
+    When ``barrier`` is set, every probe-figure run parks at it until
+    the expected number of parties arrive — so the test only passes if
+    the runs were genuinely concurrent (a serialized queue would leave
+    the first run stuck until the barrier times out and breaks).
+    """
+
+    barrier = None
+
+
+def overlap_probe_figure(runs: int = 3, session=None) -> ExperimentResult:
+    """Test-only figure: sweeps one layer through the given session."""
+
+    probed = resolve_session(session)
+    if OverlapGate.barrier is not None:
+        OverlapGate.barrier.wait(timeout=30.0)  # BrokenBarrierError on timeout
+    table = probed.sweep(TARGET, LAYER, sweep_step=8)
+    times = [row["median_time_ms"] for row in table.rows]
+    return ExperimentResult(
+        experiment_id="overlap_probe_figure",
+        title="figure-overlap probe",
+        description="sweeps one layer; parks at a barrier when armed",
+        data={"times_ms": times},
+        text="",
+        measured={"points": float(len(times)), "min_time_ms": min(times)},
+    )
+
+
+if "test-overlap-figure" not in EXPERIMENTS:
+    EXPERIMENTS.register("test-overlap-figure", overlap_probe_figure)
 
 
 class GateExecutor(SerialExecutor):
@@ -132,32 +168,67 @@ class TestFailureIsolation:
         assert [record.status for record in final.steps] == ["failed", "skipped"]
 
 
-class TestFigureSerialization:
+class TestFigureConcurrency:
     def test_concurrent_figure_jobs_keep_their_own_sessions(self):
-        """Figure steps swap the global experiment session; two workers
-        running them concurrently must not cross-contaminate seeds."""
+        """Figure steps receive their job's session explicitly; two
+        workers running them concurrently must not cross-contaminate
+        seeds."""
 
-        from repro.experiments.base import reset_default_session
+        plan = Plan()
+        plan.figure("fig04", runs=3, step=17)
+        with JobQueue(workers=2) as queue:
+            a = queue.submit(plan)
+            b = queue.submit(plan, seed=5)
+            final_a = wait_done(queue, a.id)
+            final_b = wait_done(queue, b.id)
+        assert final_a.status == final_b.status == "succeeded"
+        assert final_a.steps[0].result != final_b.steps[0].result
 
-        reset_default_session()
+        with JobQueue(workers=1) as solo:
+            ref_a = wait_done(solo, solo.submit(plan).id)
+            ref_b = wait_done(solo, solo.submit(plan, seed=5).id)
+        assert final_a.steps[0].result == ref_a.steps[0].result
+        assert final_b.steps[0].result == ref_b.steps[0].result
+
+    def test_two_figure_jobs_overlap_on_a_two_worker_queue(self):
+        """Regression for the old figure lock: two ``figure`` steps on a
+        2-worker queue must *demonstrably* execute at the same time.
+
+        Both jobs run a probe figure that parks at a 2-party barrier
+        inside the generator.  The barrier releases only if both steps
+        are inside their generators simultaneously; a queue serializing
+        figure steps (the pre-session-parameter behaviour) would break
+        the barrier by timeout and fail both jobs.
+        """
+
+        plan = Plan()
+        plan.figure("test-overlap-figure")
+        OverlapGate.barrier = threading.Barrier(2)
         try:
-            plan = Plan()
-            plan.figure("fig04", runs=3, step=17)
             with JobQueue(workers=2) as queue:
                 a = queue.submit(plan)
-                b = queue.submit(plan, seed=5)
+                b = queue.submit(plan)
                 final_a = wait_done(queue, a.id)
                 final_b = wait_done(queue, b.id)
-            assert final_a.status == final_b.status == "succeeded"
-            assert final_a.steps[0].result != final_b.steps[0].result
-
-            with JobQueue(workers=1) as solo:
-                ref_a = wait_done(solo, solo.submit(plan).id)
-                ref_b = wait_done(solo, solo.submit(plan, seed=5).id)
-            assert final_a.steps[0].result == ref_a.steps[0].result
-            assert final_b.steps[0].result == ref_b.steps[0].result
         finally:
-            reset_default_session()
+            OverlapGate.barrier = None
+        assert final_a.status == "succeeded", final_a.error
+        assert final_b.status == "succeeded", final_b.error
+
+        # Concurrency changed nothing about the results: a 1-worker
+        # queue (barrier disarmed — it would deadlock there) produces
+        # byte-identical step payloads.
+        with JobQueue(workers=1) as solo:
+            ref = wait_done(solo, solo.submit(plan).id)
+        assert final_a.steps[0].result == ref.steps[0].result
+        assert final_b.steps[0].result == ref.steps[0].result
+
+    def test_figure_lock_is_gone(self):
+        """The queue module no longer carries a process-global figure lock."""
+
+        import repro.service.queue as queue_module
+
+        assert not hasattr(queue_module, "_FIGURE_LOCK")
 
 
 class TestCancellation:
