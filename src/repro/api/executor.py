@@ -34,6 +34,13 @@ its inputs — not the whole plan's measurement pool — are ready.
     independent) steps then run concurrently on worker threads against
     the thread-safe session.
 
+``remote``
+    Per wavefront, the missing measurement workload is published as
+    work leases that stateless HTTP workers pull, measure and post
+    back (see :mod:`repro.service.fleet`); steps themselves still run
+    locally against the warmed session.  Only meaningful inside a
+    running ``repro-experiments serve`` process with workers attached.
+
 Executors register in the :data:`EXECUTORS` registry, so third-party
 backends plug in the same way devices and libraries do.
 """
@@ -66,6 +73,10 @@ class ExecutionError(RuntimeError):
 #: The executor registry; ``EXECUTORS.create(name, jobs=...)`` builds a
 #: backend instance.
 EXECUTORS: Registry[type] = Registry("executor", error_cls=UnknownExecutorError)
+
+#: Default worker bound shared by the local process pool and the
+#: per-wave step threads when ``jobs`` is not given.
+DEFAULT_POOL_WORKERS = 8
 
 
 def resolve_executor(executor, jobs: Optional[int] = None):
@@ -320,14 +331,22 @@ class ProcessExecutor:
 
     name = "process"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be None or >= 1, got {jobs}")
         self.jobs = jobs
+        # An externally-owned pool (the service queue shares one across
+        # every step of a job) is used as-is and never shut down here.
+        self._external_pool = pool
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
-        pool: Optional[ProcessPoolExecutor] = None
+        pool = self._external_pool
+        owned: Optional[ProcessPoolExecutor] = None
         try:
             for wave in wavefronts(plan):
                 tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
@@ -341,14 +360,14 @@ class ProcessExecutor:
                     if pool is None:
                         # Workers spawn on demand, so the bound may exceed
                         # this wave's task count without wasting processes.
-                        pool = ProcessPoolExecutor(
-                            max_workers=self.jobs if self.jobs is not None else 8
+                        pool = owned = ProcessPoolExecutor(
+                            max_workers=self.jobs if self.jobs is not None else DEFAULT_POOL_WORKERS
                         )
                     self._fan_out(session, pool, tasks)
                 results.update(self._run_wave(session, wave))
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if owned is not None:
+                owned.shutdown()
         return _ordered_results(plan, results)
 
     def _run_wave(self, session: "Session", wave: Sequence[Step]) -> Dict[str, Any]:
@@ -358,7 +377,7 @@ class ProcessExecutor:
             return {wave[0].id: run_step(session, wave[0])}
         # Same default bound as the measurement pool: a very wide wave
         # must not spawn hundreds of threads contending on the locks.
-        max_threads = min(len(wave), self.jobs if self.jobs is not None else 8)
+        max_threads = min(len(wave), self.jobs if self.jobs is not None else DEFAULT_POOL_WORKERS)
         results: Dict[str, Any] = {}
         with ThreadPoolExecutor(max_workers=max_threads) as threads:
             futures = {
@@ -412,8 +431,25 @@ class ProcessExecutor:
             )
 
 
+@EXECUTORS.register("remote")
+def _remote_executor(jobs: Optional[int] = None, **options: Any):
+    """Build a :class:`~repro.service.fleet.remote.RemoteExecutor`.
+
+    Registered as a factory so ``repro.api`` stays importable without
+    the service layer; the import happens only when a remote backend is
+    actually resolved.  An instance built by name alone is *unwired* —
+    its ``execute`` explains that distribution needs a running service
+    (the service's job queue constructs wired instances itself).
+    """
+
+    from ..service.fleet.remote import RemoteExecutor
+
+    return RemoteExecutor(jobs=jobs, **options)
+
+
 __all__ = [
     "EXECUTORS",
+    "DEFAULT_POOL_WORKERS",
     "BatchedExecutor",
     "ExecutionError",
     "ProcessExecutor",

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments run-plan plan.json --executor process --jobs 4
     python -m repro.experiments serve --port 8765 --profile-store profiles.jsonl
     python -m repro.experiments submit plan.json --url http://127.0.0.1:8765 --watch
+    python -m repro.experiments worker --url http://127.0.0.1:8765
     python -m repro.experiments store stats profiles.jsonl
     python -m repro.experiments store compact profiles.jsonl
 
@@ -22,8 +23,11 @@ backend (steps are scheduled over the plan's dependency graph; with
 ``--executor process --jobs N`` independent steps of a wavefront run
 concurrently); unknown experiment ids exit with status 2 and list the
 valid identifiers instead of dumping a traceback.  ``serve`` boots the
-long-lived :mod:`repro.service` HTTP front end and ``submit`` ships a
-plan file to it; ``store`` maintains a profile-store file.
+long-lived :mod:`repro.service` HTTP front end, ``submit`` ships a
+plan file to it and ``worker`` joins its measurement fleet — a
+pull-based agent claiming work leases over HTTP, which is what jobs
+submitted with ``--executor remote`` run on.  ``store`` maintains a
+profile-store file.
 """
 
 from __future__ import annotations
@@ -65,7 +69,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
             "'targets', 'run-plan PLAN.json [...]', 'serve', "
-            "'submit PLAN.json', or 'store {compact|stats} PATH'"
+            "'submit PLAN.json', 'worker', or 'store {compact|stats} PATH'"
         ),
     )
     parser.add_argument(
@@ -92,9 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help=(
-            "executor backend: serial, batched or process (run-plan/serve "
-            "default: serial; submit defaults to the server's configured "
-            "executor)"
+            "executor backend: serial, batched, process or remote "
+            "(run-plan/serve default: serial; submit defaults to the "
+            "server's configured executor; remote needs a serving "
+            "service with workers attached)"
         ),
     )
     parser.add_argument(
@@ -142,12 +147,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--url",
         default="http://127.0.0.1:8765",
         metavar="URL",
-        help="submit: service base URL (default: http://127.0.0.1:8765)",
+        help="submit/worker: service base URL (default: http://127.0.0.1:8765)",
     )
     parser.add_argument(
         "--watch",
         action="store_true",
         help="submit: stream the job's events and wait for its result",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "serve: heartbeat deadline for fleet work leases; a worker "
+            "silent this long loses its lease (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="worker: human-readable worker name shown in GET /v1/fleet",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="worker: seconds each claim request long-polls (default: 5)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="worker: exit after this many consecutive idle seconds",
+    )
+    parser.add_argument(
+        "--max-leases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker: exit after completing this many leases",
     )
     return parser
 
@@ -229,6 +271,7 @@ def _print_simulation_summary(session) -> None:
 def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     """Execute serialized plans under the requested executor backend."""
 
+    from ..api.executor import ExecutionError
     from ..api.plan import Plan, PlanError
     from ..api.registry import UnknownPluginError
     from ..api.session import Session
@@ -258,6 +301,12 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
             results = session.execute(plan, executor=executor, jobs=args.jobs)
         except UnknownPluginError as error:
             print(str(error.args[0] if error.args else error), file=sys.stderr)
+            return 2
+        except ExecutionError as error:
+            # e.g. --executor remote outside a serving service: the
+            # executor explains how to wire up a fleet instead of
+            # dumping a traceback.
+            print(str(error), file=sys.stderr)
             return 2
         print("=" * 72)
         print(f"plan {path} ({len(plan)} step(s), executor={executor})")
@@ -293,6 +342,8 @@ def serve_command(args: argparse.Namespace) -> int:
     from ..api.registry import UnknownPluginError
     from ..service.server import ReproServer
 
+    from ..service.fleet.leases import DEFAULT_LEASE_TTL, LeaseError
+
     try:
         server = ReproServer(
             host=args.host,
@@ -302,15 +353,17 @@ def serve_command(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             workers=args.workers,
             verbose=True,
+            lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
         )
-    except (OSError, ValueError, UnknownPluginError) as error:
+    except (OSError, ValueError, UnknownPluginError, LeaseError) as error:
         detail = error.args[0] if error.args else error
         print(f"cannot start service: {detail}", file=sys.stderr)
         return 2
     print(f"repro-service {__version__} listening on {server.url}", flush=True)
     print(
         f"profile store: {server.queue.profile_store or '(none, in-memory only)'}; "
-        f"default executor: {args.executor or 'serial'}; workers: {args.workers}",
+        f"default executor: {args.executor or 'serial'}; workers: {args.workers}; "
+        f"lease ttl: {server.queue.lease_manager.lease_ttl:g}s",
         flush=True,
     )
     try:
@@ -365,6 +418,31 @@ def submit_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     return 0 if final["status"] == "succeeded" else 1
 
 
+def worker_command(args: argparse.Namespace) -> int:
+    """Join a running service's measurement fleet and pull work leases."""
+
+    from ..service.client import ServiceError
+    from ..service.fleet.worker import run_worker
+
+    try:
+        completed = run_worker(
+            args.url,
+            name=args.name,
+            poll=args.poll,
+            max_idle=args.max_idle,
+            max_leases=args.max_leases,
+            on_event=lambda message: print(message, flush=True),
+        )
+    except KeyboardInterrupt:
+        print("worker interrupted; letting any held lease expire", flush=True)
+        return 0
+    except (ServiceError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(f"worker done: {completed} lease(s) completed", flush=True)
+    return 0
+
+
 def store_command(rest: List[str], args: argparse.Namespace) -> int:
     """Profile-store maintenance: ``store {compact|stats} PATH``."""
 
@@ -391,6 +469,12 @@ def store_command(rest: List[str], args: argparse.Namespace) -> int:
         print(f"  entries:      {stats['entries']} distinct configuration(s)")
         print(f"  measurements: {stats['measurements']} recorded (duplicates included)")
         print(f"  compactable:  {stats['superseded']} superseded or unreadable entr(y/ies)")
+        for target in sorted(stats["by_target"]):
+            per_target = stats["by_target"][target]
+            print(
+                f"  target {target}: {per_target['entries']} entr(y/ies), "
+                f"{per_target['measurements']} measurement(s)"
+            )
         return 0
 
     before = store.file_stats()
@@ -415,6 +499,8 @@ def main(argv: List[str] | None = None) -> int:
         return serve_command(args)
     if first == "submit":
         return submit_command(args.experiments[1:], args)
+    if first == "worker":
+        return worker_command(args)
     if first == "store":
         return store_command(args.experiments[1:], args)
 

@@ -56,7 +56,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 try:  # pragma: no cover - platform-dependent
     import fcntl
@@ -339,7 +339,7 @@ class ProfileStore:
         kept = sum(len(group) for group in index.values())
         return total_entries - kept
 
-    def file_stats(self) -> Dict[str, int]:
+    def file_stats(self) -> Dict[str, Any]:
         """On-disk statistics of the store file, read fresh from disk.
 
         Returns ``lines`` (non-empty lines in the file), ``unreadable``
@@ -347,13 +347,17 @@ class ProfileStore:
         measurement entries across readable lines, duplicates included),
         ``entries`` (distinct configurations after last-wins dedup),
         ``superseded`` (``measurements + unreadable - entries`` — what
-        :meth:`compact` would drop) and ``bytes`` (file size).  The call
-        does not disturb the in-memory index or the hit/miss counters.
+        :meth:`compact` would drop), ``bytes`` (file size) and
+        ``by_target`` — a ``"library@device"``-keyed breakdown of
+        ``entries``/``measurements`` per target, which is how the fleet
+        tests prove each configuration was simulated exactly once
+        (``measurements == entries`` target by target).  The call does
+        not disturb the in-memory index or the hit/miss counters.
         """
 
-        stats = {
+        stats: Dict[str, Any] = {
             "lines": 0, "unreadable": 0, "measurements": 0,
-            "entries": 0, "superseded": 0, "bytes": 0,
+            "entries": 0, "superseded": 0, "bytes": 0, "by_target": {},
         }
         with self._lock:
             if not self.path.exists():
@@ -372,11 +376,18 @@ class ProfileStore:
                         continue
                     key, measurements, _ = parsed
                     stats["measurements"] += len(measurements)
+                    target = f"{key[1]}@{key[0]}"  # library@device
+                    per_target = stats["by_target"].setdefault(
+                        target, {"entries": 0, "measurements": 0}
+                    )
+                    per_target["measurements"] += len(measurements)
                     group = index.setdefault(key, {})
                     for measurement in measurements:
                         group[measurement.out_channels] = measurement
             self.skipped_lines = skipped_before
         stats["entries"] = sum(len(group) for group in index.values())
+        for key, group in index.items():
+            stats["by_target"][f"{key[1]}@{key[0]}"]["entries"] += len(group)
         stats["superseded"] = (
             stats["measurements"] + stats["unreadable"] - stats["entries"]
         )

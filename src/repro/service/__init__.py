@@ -33,12 +33,18 @@ Modules
     cancel, health, version).
 ``client``
     :class:`ServiceClient` — a urllib-based Python client the CLI's
-    ``submit`` subcommand drives.
+    ``submit`` subcommand drives (and the fleet worker's transport).
 ``results``
     Step-result projections shared by the CLI and the job records.
+``fleet``
+    Distributed measurement: the crash-safe :class:`LeaseManager` work
+    queue, the ``remote`` executor that publishes into it and the
+    pull-based :class:`FleetWorker` that ``repro-experiments worker``
+    runs against a serving URL.
 """
 
 from .client import ServiceClient, ServiceError
+from .fleet import FleetWorker, LeaseManager, RemoteExecutor, run_worker
 from .jobs import JOB_STATUSES, STEP_STATUSES, Job, JobStore, StepRecord
 from .queue import JobQueue
 from .results import describe_step_result, step_result_payload
@@ -47,14 +53,18 @@ from .server import ReproServer, serve
 __all__ = [
     "JOB_STATUSES",
     "STEP_STATUSES",
+    "FleetWorker",
     "Job",
     "JobQueue",
     "JobStore",
+    "LeaseManager",
+    "RemoteExecutor",
     "ReproServer",
     "ServiceClient",
     "ServiceError",
     "StepRecord",
     "describe_step_result",
+    "run_worker",
     "serve",
     "step_result_payload",
 ]

@@ -117,7 +117,12 @@ class ServiceClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel")
 
-    def iter_events(self, job_id: str, timeout: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+    def iter_events(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        keepalives: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
         """Stream a job's NDJSON events until its ``job-finished`` event.
 
         A finished job replays its full event log and the iterator ends
@@ -125,6 +130,10 @@ class ServiceClient:
         streams until the job finishes, waiting up to an hour between
         consecutive events (so a dead server cannot hang the client
         forever).  Timeouts raise :class:`ServiceError`.
+
+        The server interleaves ``{"event": "keepalive"}`` lines while a
+        job is idle; they are filtered out unless ``keepalives=True``
+        (they carry no job progress, only connection liveness).
         """
 
         read_timeout = 3600.0 if timeout is None else timeout
@@ -140,8 +149,12 @@ class ServiceClient:
                             f"timed out streaming events of job {job_id} after {timeout}s"
                         )
                     line = line.strip()
-                    if line:
-                        yield json.loads(line.decode("utf-8"))
+                    if not line:
+                        continue
+                    event = json.loads(line.decode("utf-8"))
+                    if event.get("event") == "keepalive" and not keepalives:
+                        continue
+                    yield event
         except TimeoutError as error:
             raise ServiceError(
                 f"no event from job {job_id} for {read_timeout}s"
@@ -163,6 +176,64 @@ class ServiceClient:
                     f"after {timeout}s"
                 )
             time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Fleet surface (used by repro.service.fleet.worker)
+    # ------------------------------------------------------------------
+    def fleet(self) -> Dict[str, Any]:
+        """Lease counts, lifetime counters and known workers."""
+
+        return self._request("GET", "/v1/fleet")
+
+    def register_worker(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Join the fleet; returns ``{"worker": id, "lease_ttl": ttl}``."""
+
+        payload = {"name": name} if name is not None else {}
+        return self._request("POST", "/v1/workers/register", payload)
+
+    def claim_lease(
+        self, worker: str, timeout: float = 0.0
+    ) -> Optional[Dict[str, Any]]:
+        """Long-poll for one work lease; ``None`` when nothing is pending.
+
+        The server answers 204 after its poll horizon elapses without
+        work; the request timeout leaves generous headroom on top of the
+        server-side ``timeout`` so slow networks do not surface spurious
+        errors.
+        """
+
+        with self._open(
+            "POST",
+            "/v1/leases/claim",
+            {"worker": worker, "timeout": timeout},
+            timeout=timeout + self.timeout,
+        ) as response:
+            if response.status == 204:
+                return None
+            return json.loads(response.read().decode("utf-8"))
+
+    def heartbeat_lease(self, lease_id: str, worker: str) -> Dict[str, Any]:
+        """Extend a held lease's deadline by one TTL."""
+
+        return self._request(
+            "POST", f"/v1/leases/{lease_id}/heartbeat", {"worker": worker}
+        )
+
+    def complete_lease(
+        self,
+        lease_id: str,
+        worker: str,
+        measurements: Optional[List[Dict[str, Any]]] = None,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Report a lease's measurements (or the error that broke it)."""
+
+        payload: Dict[str, Any] = {"worker": worker}
+        if measurements is not None:
+            payload["measurements"] = measurements
+        if error is not None:
+            payload["error"] = error
+        return self._request("POST", f"/v1/leases/{lease_id}/complete", payload)
 
 
 __all__ = ["ServiceClient", "ServiceError"]

@@ -32,12 +32,14 @@ import queue as _stdlib_queue
 import threading
 import time
 import traceback
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from ..api.plan import Plan, PlanError, Step
 from ..api.scheduler import scheduled_order
 from ..api.session import Session
+from .fleet.leases import DEFAULT_LEASE_TTL, LeaseManager, LeaseWaitAborted
 from .jobs import Job, JobStore
 from .results import step_result_payload
 
@@ -70,6 +72,10 @@ class JobQueue:
         concurrently across workers — ``figure`` steps included, since
         experiment generators receive the job's session explicitly
         instead of swapping a process-global one.
+    lease_ttl:
+        Heartbeat deadline (seconds) of the queue's
+        :class:`~repro.service.fleet.leases.LeaseManager`; a fleet
+        worker that goes silent this long loses its lease.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class JobQueue:
         executor: str = "serial",
         jobs: Optional[int] = None,
         workers: int = 1,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -91,6 +98,10 @@ class JobQueue:
         self.profile_store = str(profile_store) if profile_store is not None else None
         self.default_executor = EXECUTORS.canonical(executor)
         self.default_jobs = self._validate_jobs(jobs)
+        # One lease manager per queue: jobs running under the ``remote``
+        # executor publish their measurement workload here, and the HTTP
+        # layer's /v1/leases routes let fleet workers pull from it.
+        self.lease_manager = LeaseManager(lease_ttl=lease_ttl)
         self._queue: "_stdlib_queue.Queue[Optional[str]]" = _stdlib_queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
@@ -194,6 +205,41 @@ class JobQueue:
             finally:
                 self._queue.task_done()
 
+    def _build_executor(self, job: Job) -> Tuple[Any, Optional[Callable[[], None]]]:
+        """One executor object (plus cleanup) reused by every step of a job.
+
+        ``process`` jobs get a single shared :class:`ProcessPoolExecutor`
+        held for the job's whole lifetime — multi-step plans used to pay
+        the pool spawn/teardown cost on every step.  The pool is created
+        eagerly but its worker processes spawn lazily on first submit,
+        so a fully store-served job never forks at all.  ``remote`` jobs
+        get a :class:`~repro.service.fleet.remote.RemoteExecutor` wired
+        to this queue's lease manager, with the job's cancellation flag
+        as the abort check so a cancel interrupts a lease wait mid-step.
+        Other backends are stateless and resolve by name per step.
+        """
+
+        if job.executor == "process":
+            from ..api.executor import DEFAULT_POOL_WORKERS, ProcessExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=job.jobs if job.jobs is not None else DEFAULT_POOL_WORKERS
+            )
+            return ProcessExecutor(jobs=job.jobs, pool=pool), pool.shutdown
+        if job.executor == "remote":
+            from .fleet.remote import RemoteExecutor
+
+            return (
+                RemoteExecutor(
+                    jobs=job.jobs,
+                    manager=self.lease_manager,
+                    abort=lambda: self.store.get(job.id).cancel_requested,
+                    job_id=job.id,
+                ),
+                None,
+            )
+        return job.executor, None
+
     def _run_job(self, job_id: str) -> None:
         # Atomic claim: returns None if the job reached a terminal state
         # while queued (e.g. cancelled), so a cancel racing this worker
@@ -209,28 +255,38 @@ class JobQueue:
             self.store.finish(job_id, "failed", error=f"invalid stored plan: {error}")
             return
         session = Session(store=self.profile_store, seed=job.seed)
-        # Dependency-scheduled order: a valid topological order whose
-        # wavefront structure matches what the executors use, so the
-        # event stream reflects when a step *could* start.
-        for step in scheduled_order(plan):
-            if self.store.get(job_id).cancel_requested:
-                self.store.finish(
-                    job_id, "cancelled", simulations=session.simulation_count()
-                )
-                return
-            status, result, error = self._run_step(session, job, step)
-            if status == "failed":
-                self.store.finish(
-                    job_id, "failed", error=error,
-                    simulations=session.simulation_count(),
-                )
-                return
-        self.store.finish(
-            job_id, "succeeded", simulations=session.simulation_count()
-        )
+        executor, cleanup = self._build_executor(job)
+        try:
+            # Dependency-scheduled order: a valid topological order whose
+            # wavefront structure matches what the executors use, so the
+            # event stream reflects when a step *could* start.
+            for step in scheduled_order(plan):
+                if self.store.get(job_id).cancel_requested:
+                    self.store.finish(
+                        job_id, "cancelled", simulations=session.simulation_count()
+                    )
+                    return
+                status, result, error = self._run_step(session, job, step, executor)
+                if status == "cancelled":
+                    self.store.finish(
+                        job_id, "cancelled", simulations=session.simulation_count()
+                    )
+                    return
+                if status == "failed":
+                    self.store.finish(
+                        job_id, "failed", error=error,
+                        simulations=session.simulation_count(),
+                    )
+                    return
+            self.store.finish(
+                job_id, "succeeded", simulations=session.simulation_count()
+            )
+        finally:
+            if cleanup is not None:
+                cleanup()
 
     def _run_step(
-        self, session: Session, job: Job, step: Step
+        self, session: Session, job: Job, step: Step, executor: Any
     ) -> Tuple[str, Any, Optional[str]]:
         """Execute one step; never raises (failures come back as a status)."""
 
@@ -244,9 +300,17 @@ class JobQueue:
             single = Plan()
             single.add(Step(id=step.id, kind=step.kind, params=step.params))
             raw = session.execute(
-                single, executor=job.executor, jobs=job.jobs
+                single, executor=executor, jobs=job.jobs
             )[step.id]
             payload = step_result_payload(raw)
+        except LeaseWaitAborted:
+            # A cancel interrupted a remote job's lease wait mid-step:
+            # not a failure, the job finishes ``cancelled``.
+            duration_ms = (time.monotonic() - started) * 1000.0
+            self.store.mark_step_finished(
+                job.id, step.id, "skipped", duration_ms=duration_ms
+            )
+            return "cancelled", None, None
         except Exception:
             error = traceback.format_exc()
             duration_ms = (time.monotonic() - started) * 1000.0

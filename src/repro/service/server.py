@@ -4,13 +4,18 @@
 beyond the standard library) around a :class:`~repro.service.queue.JobQueue`
 and exposes the versioned API::
 
-    POST /v1/plans             submit a plan          -> 202 {job record}
-    GET  /v1/jobs              list jobs              -> 200 {"jobs": [...]}
-    GET  /v1/jobs/{id}         one full job record    -> 200 {job record}
-    GET  /v1/jobs/{id}/events  NDJSON event stream    -> 200 (one JSON/line)
-    POST /v1/jobs/{id}/cancel  request cancellation   -> 200 {job record}
-    GET  /v1/healthz           liveness + job counts  -> 200
-    GET  /v1/version           build/wire versions    -> 200
+    POST /v1/plans                 submit a plan          -> 202 {job record}
+    GET  /v1/jobs                  list jobs              -> 200 {"jobs": [...]}
+    GET  /v1/jobs/{id}             one full job record    -> 200 {job record}
+    GET  /v1/jobs/{id}/events      NDJSON event stream    -> 200 (one JSON/line)
+    POST /v1/jobs/{id}/cancel      request cancellation   -> 200 {job record}
+    GET  /v1/healthz               liveness + job counts  -> 200
+    GET  /v1/version               build/wire versions    -> 200
+    POST /v1/workers/register      join the worker fleet  -> 200 {worker, ttl}
+    POST /v1/leases/claim          pull one work lease    -> 200 {lease} | 204
+    POST /v1/leases/{id}/heartbeat keep a lease alive     -> 200
+    POST /v1/leases/{id}/complete  post measurements back -> 200
+    GET  /v1/fleet                 lease + worker status  -> 200
 
 ``POST /v1/plans`` accepts either a bare serialized
 :class:`~repro.api.plan.Plan` payload or an envelope
@@ -22,6 +27,14 @@ event log from the start and keeps the connection open until the
 ``job-finished`` event — streaming a finished job terminates
 immediately, which is what lets clients ``wait`` on replayed jobs.
 
+Fleet errors map the same way: an unknown lease id is 404, a stale
+touch (the lease was re-queued away from the worker) is 409 and a
+malformed payload is 400.  While a watched job is idle the event stream
+emits a periodic ``{"event": "keepalive"}`` line so buffering proxies
+and client read timeouts never starve a long watch; clients skip them
+(:meth:`~repro.service.client.ServiceClient.iter_events` filters them
+out by default).
+
 Responses close the connection when done (HTTP/1.0 framing), so the
 NDJSON stream needs no chunked encoding: readers consume lines until
 EOF.
@@ -31,6 +44,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Optional, Tuple, Union
@@ -39,12 +53,27 @@ from .. import __version__
 from ..api.plan import PLAN_VERSION, PlanError
 from ..api.registry import UnknownPluginError
 from ..profiling.store import STORE_VERSION
+from .fleet.leases import (
+    DEFAULT_LEASE_TTL,
+    LeaseError,
+    StaleLeaseError,
+    UnknownLeaseError,
+)
 from .jobs import JOB_VERSION, JobStore, UnknownJobError
 from .queue import JobQueue, QueueClosedError
 
 #: How long one blocking poll of the event stream waits before checking
 #: whether the client hung up / the server is closing.
 _STREAM_POLL_SECONDS = 0.5
+
+#: Seconds an idle event stream goes before a ``keepalive`` line is
+#: written, so long watches survive buffering proxies and client read
+#: timeouts (overridable per server via ``events_keepalive_seconds``).
+DEFAULT_EVENTS_KEEPALIVE_SECONDS = 15.0
+
+#: Upper bound on one lease-claim request's server-side long poll; the
+#: worker simply re-polls, so a shorter wait only costs round trips.
+_CLAIM_POLL_MAX_SECONDS = 30.0
 
 
 class _ApiError(Exception):
@@ -61,7 +90,11 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     allow_reuse_address = True
 
     def __init__(
-        self, address: Tuple[str, int], queue: Optional[JobQueue], verbose: bool
+        self,
+        address: Tuple[str, int],
+        queue: Optional[JobQueue],
+        verbose: bool,
+        events_keepalive: float = DEFAULT_EVENTS_KEEPALIVE_SECONDS,
     ) -> None:
         super().__init__(address, _ServiceHandler)
         # Assigned right after the bind succeeds, before any request can
@@ -69,6 +102,7 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
         self.job_queue = queue
         self.verbose = verbose
         self.closing = False
+        self.events_keepalive = events_keepalive
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -142,6 +176,16 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return self._get_events(rest[1])
             if method == "POST" and len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "cancel":
                 return self._post_cancel(rest[1])
+            if method == "GET" and rest == ["fleet"]:
+                return self._get_fleet()
+            if method == "POST" and rest == ["workers", "register"]:
+                return self._post_worker_register()
+            if method == "POST" and rest == ["leases", "claim"]:
+                return self._post_lease_claim()
+            if method == "POST" and len(rest) == 3 and rest[:1] == ["leases"] and rest[2] == "heartbeat":
+                return self._post_lease_heartbeat(rest[1])
+            if method == "POST" and len(rest) == 3 and rest[:1] == ["leases"] and rest[2] == "complete":
+                return self._post_lease_complete(rest[1])
             raise _ApiError(404, f"no route for {method} {self.path!r}")
         except _ApiError as error:
             self._send_error_json(error.status, error.message)
@@ -217,6 +261,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Cache-Control", "no-cache")
         self.end_headers()
         index = 0
+        last_write = time.monotonic()
         try:
             while True:
                 events, done = self._store.wait_for_events(
@@ -227,12 +272,110 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 index += len(events)
                 if events:
                     self.wfile.flush()
+                    last_write = time.monotonic()
                 if done and not events:
                     return  # terminal and fully replayed
                 if self.server.closing:
                     return
+                if time.monotonic() - last_write >= self.server.events_keepalive:
+                    # Nothing happened for a while: emit a keepalive line
+                    # so idle watches (figure steps can run for minutes)
+                    # are never starved by proxies or read timeouts.
+                    line = json.dumps(
+                        {"event": "keepalive", "job": job_id, "time": time.time()},
+                        sort_keys=True,
+                    )
+                    self.wfile.write((line + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                    last_write = time.monotonic()
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover - client hangup
             return
+
+    # ------------------------------------------------------------------
+    # Fleet handlers (see repro.service.fleet)
+    # ------------------------------------------------------------------
+    @property
+    def _leases(self):
+        return self.server.job_queue.lease_manager
+
+    def _send_no_content(self) -> None:
+        self.send_response(204)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _get_fleet(self) -> None:
+        self._send_json(self._leases.status())
+
+    def _post_worker_register(self) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "registration body must be a JSON object")
+        name = body.get("name")
+        if name is not None and not isinstance(name, str):
+            raise _ApiError(400, f"worker name must be a string, got {name!r}")
+        self._send_json(self._leases.register_worker(name))
+
+    def _post_lease_claim(self) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "claim body must be a JSON object")
+        worker = body.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise _ApiError(400, f"claim needs a 'worker' id string, got {worker!r}")
+        timeout = body.get("timeout", 0.0)
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool) or timeout < 0:
+            raise _ApiError(400, f"timeout must be a non-negative number, got {timeout!r}")
+        # Long poll in short slices so a closing server releases the
+        # connection promptly instead of holding workers for the full
+        # client-requested horizon.
+        deadline = time.monotonic() + min(float(timeout), _CLAIM_POLL_MAX_SECONDS)
+        while True:
+            remaining = deadline - time.monotonic()
+            lease = self._leases.claim(worker, timeout=max(0.0, min(1.0, remaining)))
+            if lease is not None:
+                return self._send_json(lease)
+            if remaining <= 0 or self.server.closing:
+                return self._send_no_content()
+
+    @staticmethod
+    def _worker_field(body: dict) -> str:
+        worker = body.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise _ApiError(400, f"request needs a 'worker' id string, got {worker!r}")
+        return worker
+
+    def _post_lease_heartbeat(self, lease_id: str) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "heartbeat body must be a JSON object")
+        try:
+            self._send_json(self._leases.heartbeat(lease_id, self._worker_field(body)))
+        except UnknownLeaseError as error:
+            raise _ApiError(404, str(error.args[0] if error.args else error)) from error
+        except StaleLeaseError as error:
+            raise _ApiError(409, str(error)) from error
+        except LeaseError as error:
+            raise _ApiError(400, str(error)) from error
+
+    def _post_lease_complete(self, lease_id: str) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "completion body must be a JSON object")
+        try:
+            self._send_json(
+                self._leases.complete(
+                    lease_id,
+                    self._worker_field(body),
+                    measurements=body.get("measurements"),
+                    error=body.get("error"),
+                )
+            )
+        except UnknownLeaseError as error:
+            raise _ApiError(404, str(error.args[0] if error.args else error)) from error
+        except StaleLeaseError as error:
+            raise _ApiError(409, str(error)) from error
+        except LeaseError as error:
+            raise _ApiError(400, str(error)) from error
 
 
 class ReproServer:
@@ -255,6 +398,8 @@ class ReproServer:
         jobs: Optional[int] = None,
         workers: int = 1,
         verbose: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        events_keepalive_seconds: float = DEFAULT_EVENTS_KEEPALIVE_SECONDS,
     ) -> None:
         if job_store is None and profile_store is not None:
             # Persist jobs next to the profile store by default, so one
@@ -264,7 +409,9 @@ class ReproServer:
         # Bind the socket before starting the queue: a failed bind must
         # not leave worker threads running (and re-queued jobs executing)
         # behind an object the caller never got to close().
-        self._http = _ServiceHTTPServer((host, port), None, verbose)
+        self._http = _ServiceHTTPServer(
+            (host, port), None, verbose, events_keepalive=events_keepalive_seconds
+        )
         try:
             store = job_store if isinstance(job_store, JobStore) else JobStore(job_store)
             self.queue = JobQueue(
@@ -273,6 +420,7 @@ class ReproServer:
                 executor=executor,
                 jobs=jobs,
                 workers=workers,
+                lease_ttl=lease_ttl,
             )
         except BaseException:
             self._http.server_close()
@@ -349,6 +497,7 @@ def serve(
     jobs: Optional[int] = None,
     workers: int = 1,
     verbose: bool = False,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> ReproServer:
     """Build and start a :class:`ReproServer` (the ``serve`` CLI backend)."""
 
@@ -360,7 +509,8 @@ def serve(
         jobs=jobs,
         workers=workers,
         verbose=verbose,
+        lease_ttl=lease_ttl,
     ).start()
 
 
-__all__ = ["ReproServer", "serve"]
+__all__ = ["DEFAULT_EVENTS_KEEPALIVE_SECONDS", "ReproServer", "serve"]

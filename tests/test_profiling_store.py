@@ -143,6 +143,32 @@ class TestProfileStore:
         assert stats["writes"] == 1
         assert len(runner2.store) == 3
 
+    def test_file_stats_breaks_records_down_per_target(self, tmp_path):
+        path = tmp_path / "profiles.jsonl"
+        make_runner(ProfileStore(path)).measure_many(LAYER, [4, 8])
+        other = ProfileRunner.create("jetson-tx2", "cudnn", runs=3)
+        other.store = ProfileStore(path)
+        other.measure_many(LAYER, [4])
+        # A duplicate of an existing configuration: counted as a
+        # measurement, deduplicated out of the per-target entries.
+        duplicate = make_runner().measure(LAYER, 8)
+        fresh = ProfileStore(path)
+        fresh.record(
+            duplicate.device_name, duplicate.library_name, duplicate.runs,
+            LAYER, [duplicate],
+        )
+
+        stats = fresh.file_stats()
+        assert stats["entries"] == 3
+        assert stats["measurements"] == 4
+        assert stats["superseded"] == 1
+        assert stats["by_target"] == {
+            "acl-gemm@mali-g72": {"entries": 2, "measurements": 3},
+            "cudnn@jetson-tx2": {"entries": 1, "measurements": 1},
+        }
+        # An absent file reports an empty breakdown, not a crash.
+        assert ProfileStore(tmp_path / "missing.jsonl").file_stats()["by_target"] == {}
+
     def test_partial_overlap_simulates_only_missing_counts(self, tmp_path):
         path = tmp_path / "profiles.jsonl"
         make_runner(ProfileStore(path)).measure_many(LAYER, [4, 8])

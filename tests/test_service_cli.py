@@ -124,6 +124,9 @@ class TestStoreCommand:
         assert str(path) in output
         assert "3 distinct configuration(s)" in output
         assert "compactable:  1" in output
+        # Per-target breakdown: duplicates included in measurements,
+        # deduped in entries (hikey-970 resolves to its mali-g72 GPU).
+        assert "target acl-gemm@mali-g72: 3 entr(y/ies), 4 measurement(s)" in output
 
     def test_compact_drops_duplicates_and_reports_sizes(self, tmp_path, capsys):
         path = self.make_store_with_duplicates(tmp_path)
@@ -171,3 +174,36 @@ class TestServeCommand:
     def test_bad_default_jobs_exits_2(self, capsys):
         assert main(["serve", "--port", "0", "--jobs", "0"]) == 2
         assert "jobs" in capsys.readouterr().err
+
+    def test_bad_lease_ttl_exits_2(self, capsys):
+        assert main(["serve", "--port", "0", "--lease-ttl", "0"]) == 2
+        assert "lease_ttl" in capsys.readouterr().err
+
+
+class TestWorkerCommand:
+    def test_worker_drains_a_remote_job_and_exits(self, tmp_path, capsys):
+        import time
+
+        plan = Plan()
+        plan.sweep(TARGET, LAYER, sweep_step=8)
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl",
+            job_store=tmp_path / "jobs.jsonl",
+        ) as server:
+            job = server.queue.submit(plan, executor="remote")
+            code = main([
+                "worker", "--url", server.url,
+                "--name", "cli-worker", "--poll", "0.2", "--max-leases", "1",
+            ])
+            assert code == 0
+            deadline = time.monotonic() + 60.0
+            while not server.store.get(job.id).done and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.store.get(job.id).status == "succeeded"
+        output = capsys.readouterr().out
+        assert "registered as worker-" in output
+        assert "worker done: 1 lease(s) completed" in output
+
+    def test_unreachable_service_exits_2(self, capsys):
+        assert main(["worker", "--url", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
