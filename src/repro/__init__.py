@@ -49,7 +49,7 @@ from .libraries import get_library
 from .models import build_model
 from .profiling import ProfileRunner
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "GpuSimulator",

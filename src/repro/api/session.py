@@ -233,12 +233,17 @@ class Session:
     def cache_stats(self) -> CacheStats:
         """Live hit/miss/eviction counters of the profile cache."""
 
+        # repro-lint: ignore[RL001] -- hands out the CacheStats object itself
+        # (one attribute load, atomic under the GIL); counters keep mutating
+        # under the lock after the reference escapes, by design.
         return self._stats
 
     @property
     def store(self) -> Optional[ProfileStore]:
         """The persistent profile store backing this session, if any."""
 
+        # repro-lint: ignore[RL001] -- atomic reference read; ProfileStore is
+        # internally flock/lock-safe and rebinding happens only in set_store.
         return self._store
 
     def set_store(self, store: StoreLike) -> None:
@@ -264,7 +269,8 @@ class Session:
             return sum(runner.simulations for runner in self._runners.values())
 
     def cache_size(self) -> int:
-        return len(self._profiles)
+        with self._lock:
+            return len(self._profiles)
 
     def clear_cache(self) -> None:
         """Drop cached profiles, runners and pruners; reset the counters."""

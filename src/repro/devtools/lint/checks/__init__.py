@@ -1,0 +1,13 @@
+"""Built-in checkers.  Importing this package registers RL001–RL005."""
+
+from __future__ import annotations
+
+from . import deprecations, determinism, locks, serialization, sessions  # noqa: F401
+
+__all__ = [
+    "deprecations",
+    "determinism",
+    "locks",
+    "serialization",
+    "sessions",
+]

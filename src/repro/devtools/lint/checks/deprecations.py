@@ -1,0 +1,132 @@
+"""RL003 — internal callers of deprecated compatibility shims.
+
+The code base keeps module-level shims (``get_device``, ``get_library``,
+``get_criterion``, ``build_model``, ``get_experiment``,
+``reset_default_session``, ``swap_default_session``) alive for external
+callers, but internal code must use the session-scoped replacements.
+Rather than hard-coding the shim list, :meth:`prepare` auto-discovers
+every function whose *first* non-docstring statement issues a
+``DeprecationWarning`` — either via the shared ``warn_deprecated``
+helper or a direct ``warnings.warn(..., DeprecationWarning)`` — and
+:meth:`check` flags any call to those names from ``repro/`` package
+modules.  (The first-statement rule is deliberate: a function that only
+warns on a legacy *argument form*, after its modern early returns, is
+not itself a shim.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..engine import Checker, Finding, ModuleSource, register_checker
+
+#: Internal callers live inside the ``repro`` package tree.
+_SCOPE_RE = re.compile(r"(^|/)repro/")
+
+
+def _call_tail(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_deprecation_warn(statement: ast.stmt) -> bool:
+    """Whether a statement is ``warn_deprecated(...)`` or a
+    ``warnings.warn(..., DeprecationWarning)`` call."""
+
+    if not (isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call)):
+        return False
+    call = statement.value
+    tail = _call_tail(call.func)
+    if tail == "warn_deprecated":
+        return True
+    if tail != "warn":
+        return False
+    mentioned = [
+        node.id
+        for node in ast.walk(call)
+        if isinstance(node, ast.Name)
+    ]
+    return "DeprecationWarning" in mentioned
+
+
+def _is_forwarding_helper(func: ast.FunctionDef, statement: ast.stmt) -> bool:
+    """Whether the warn call builds its message from the function's own
+    parameters — the signature of an infrastructure helper such as
+    ``warn_deprecated(old, new)``, not of a deprecated shim (shims warn
+    with literals about themselves)."""
+
+    params = {arg.arg for arg in func.args.args}
+    params |= {arg.arg for arg in func.args.posonlyargs}
+    params |= {arg.arg for arg in func.args.kwonlyargs}
+    return any(
+        isinstance(node, ast.Name) and node.id in params
+        for node in ast.walk(statement)
+    )
+
+
+def _first_real_statement(func: ast.FunctionDef) -> Optional[ast.stmt]:
+    for statement in func.body:
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and isinstance(statement.value.value, str)
+        ):
+            continue  # docstring
+        return statement
+    return None
+
+
+@register_checker
+class DeprecatedShimChecker(Checker):
+    code = "RL003"
+    name = "deprecated-shims"
+    description = (
+        "internal repro/ modules must not call functions that open by "
+        "raising DeprecationWarning (discovered automatically)"
+    )
+
+    def __init__(self) -> None:
+        #: shim name -> rel path of the module that defines it.
+        self._shims: Dict[str, str] = {}
+
+    def prepare(self, modules: Sequence[ModuleSource]) -> None:
+        self._shims = {}
+        for module in modules:
+            if not _SCOPE_RE.search(module.rel):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                first = _first_real_statement(node)
+                if (
+                    first is not None
+                    and _is_deprecation_warn(first)
+                    and not _is_forwarding_helper(node, first)
+                ):
+                    self._shims[node.name] = module.rel
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self._shims or not _SCOPE_RE.search(module.rel):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = _call_tail(node.func)
+            if tail is None:
+                continue
+            defined_in = self._shims.get(tail)
+            if defined_in is None or defined_in == module.rel:
+                # Calls inside the defining module are the shim's own
+                # implementation plumbing, not internal adoption.
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"call to deprecated shim '{tail}' (defined in {defined_in}); "
+                "internal code must use the session-scoped replacement",
+            )

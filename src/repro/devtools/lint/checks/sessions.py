@@ -1,0 +1,91 @@
+"""RL004 — session hygiene after the PR-5 explicit-session migration.
+
+Two rules, both scoped to ``repro/`` package modules:
+
+1. ``default_session()`` is a convenience for interactive use and the
+   CLI; library code must thread a :class:`~repro.api.session.Session`
+   explicitly.  Only the whitelisted convenience module
+   (``repro/experiments/base.py``, which defines the global) may call
+   it.
+2. Experiment generators — the public ``fig*``/``tab*``/``proposal*``
+   functions in ``repro/experiments/figures.py``, ``tables.py`` and
+   ``proposal.py`` — must accept an explicit ``session`` parameter so
+   schedulers can isolate runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..engine import Checker, Finding, ModuleSource, register_checker
+
+_SCOPE_RE = re.compile(r"(^|/)repro/")
+
+#: Modules allowed to call ``default_session()`` (path suffixes).
+_WHITELIST = ("repro/experiments/base.py",)
+
+#: Modules whose public functions are experiment generators.
+_GENERATOR_SUFFIXES = (
+    "repro/experiments/figures.py",
+    "repro/experiments/tables.py",
+    "repro/experiments/proposal.py",
+)
+
+
+def _call_tail(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _accepts_session(func: ast.FunctionDef) -> bool:
+    names = [arg.arg for arg in func.args.args]
+    names += [arg.arg for arg in func.args.posonlyargs]
+    names += [arg.arg for arg in func.args.kwonlyargs]
+    if func.args.kwarg is not None:
+        names.append(func.args.kwarg.arg)
+    return "session" in names
+
+
+@register_checker
+class SessionHygieneChecker(Checker):
+    code = "RL004"
+    name = "session-hygiene"
+    description = (
+        "default_session() only in whitelisted convenience modules; "
+        "experiment generators must accept an explicit 'session' parameter"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not _SCOPE_RE.search(module.rel):
+            return
+        whitelisted = module.rel.endswith(_WHITELIST)
+        if not whitelisted:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and _call_tail(node.func) == "default_session"
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "call to default_session() outside the whitelisted "
+                        "convenience module; pass a Session explicitly",
+                    )
+        if module.rel.endswith(_GENERATOR_SUFFIXES):
+            for statement in module.tree.body:
+                if not isinstance(statement, ast.FunctionDef):
+                    continue
+                if statement.name.startswith("_"):
+                    continue
+                if not _accepts_session(statement):
+                    yield self.finding(
+                        module,
+                        statement,
+                        f"experiment generator '{statement.name}' does not "
+                        "accept an explicit 'session' parameter",
+                    )

@@ -13,6 +13,8 @@ Usage::
     python -m repro.experiments worker --url http://127.0.0.1:8765
     python -m repro.experiments store stats profiles.jsonl
     python -m repro.experiments store compact profiles.jsonl
+    python -m repro.experiments lint src tests --format json
+    python -m repro.experiments lint --list-checks
 
 Each invocation builds its own :class:`repro.api.Session` and passes it
 to every experiment generator (``session=``), so a multi-experiment
@@ -27,7 +29,8 @@ long-lived :mod:`repro.service` HTTP front end, ``submit`` ships a
 plan file to it and ``worker`` joins its measurement fleet — a
 pull-based agent claiming work leases over HTTP, which is what jobs
 submitted with ``--executor remote`` run on.  ``store`` maintains a
-profile-store file.
+profile-store file, and ``lint`` runs the repo's AST invariant
+checkers (:mod:`repro.devtools.lint`) over source trees.
 """
 
 from __future__ import annotations
@@ -69,7 +72,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
             "'targets', 'run-plan PLAN.json [...]', 'serve', "
-            "'submit PLAN.json', 'worker', or 'store {compact|stats} PATH'"
+            "'submit PLAN.json', 'worker', 'store {compact|stats} PATH', "
+            "or 'lint [PATHS]'"
         ),
     )
     parser.add_argument(
@@ -190,6 +194,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker: exit after completing this many leases",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help=(
+            "lint: run only these checker codes (comma-separated or "
+            "repeated, e.g. --select RL001,RL002)"
+        ),
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help="lint: skip these checker codes (comma-separated or repeated)",
+    )
+    parser.add_argument(
+        "--format",
+        default=None,
+        choices=("text", "json"),
+        help="lint: report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="lint: list the registered checkers and exit",
     )
     return parser
 
@@ -503,6 +535,10 @@ def main(argv: List[str] | None = None) -> int:
         return worker_command(args)
     if first == "store":
         return store_command(args.experiments[1:], args)
+    if first == "lint":
+        from ..devtools.lint.cli import lint_command
+
+        return lint_command(args.experiments[1:], args)
 
     if len(args.experiments) == 1 and args.experiments[0].lower() == "list":
         for experiment_id in available_experiments():

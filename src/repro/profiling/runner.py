@@ -402,4 +402,5 @@ class ProfileRunner:
         return self.measure_many(layer, counts)
 
     def cache_size(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)

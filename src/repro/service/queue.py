@@ -343,9 +343,11 @@ class JobQueue:
             for job in self.store.list():
                 if job.status == "queued":
                     self.store.request_cancel(job.id)
-        for _ in self._workers:
-            self._queue.put(None)
-        for thread in self._workers:
+        # Deliberately outside _lock: holding it here would deadlock
+        # against workers that take it to finish their last job.
+        for _ in self._workers:  # repro-lint: ignore[RL001] -- immutable after __init__
+            self._queue.put(None)  # repro-lint: ignore[RL001] -- queue.Queue is thread-safe
+        for thread in self._workers:  # repro-lint: ignore[RL001] -- immutable after __init__
             thread.join(timeout=timeout)
 
     def __enter__(self) -> "JobQueue":

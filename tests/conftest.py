@@ -1,6 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and thread/crash sanitizers for the test suite."""
 
 from __future__ import annotations
+
+import faulthandler
+import threading
 
 import pytest
 
@@ -8,6 +11,46 @@ from repro.gpusim import DEVICES, GpuSimulator
 from repro.libraries import LIBRARIES
 from repro.models import build_alexnet, build_resnet50, build_vgg16
 from repro.profiling import ProfileRunner
+
+# Dump tracebacks of every thread on hard crashes/hangs (SIGSEGV,
+# SIGABRT, fatal deadlock kills) instead of dying silently.
+faulthandler.enable()
+
+#: Uncaught exceptions from background threads (job-queue workers,
+#: fleet heartbeats, test helper threads), recorded by the excepthook
+#: below so the owning test fails instead of the error vanishing into
+#: stderr.  Guarded by its own lock: hooks fire on arbitrary threads.
+_THREAD_ERRORS = []
+_THREAD_ERRORS_LOCK = threading.Lock()
+_ORIGINAL_EXCEPTHOOK = threading.excepthook
+
+
+def _recording_excepthook(hook_args) -> None:
+    with _THREAD_ERRORS_LOCK:
+        _THREAD_ERRORS.append(hook_args)
+    _ORIGINAL_EXCEPTHOOK(hook_args)
+
+
+threading.excepthook = _recording_excepthook
+
+
+@pytest.fixture(autouse=True)
+def fail_on_background_thread_exception():
+    """Fail any test during which a background thread died unhandled."""
+
+    with _THREAD_ERRORS_LOCK:
+        _THREAD_ERRORS.clear()
+    yield
+    with _THREAD_ERRORS_LOCK:
+        errors = list(_THREAD_ERRORS)
+        _THREAD_ERRORS.clear()
+    if errors:
+        summaries = "; ".join(
+            f"{getattr(error.thread, 'name', '?')}: "
+            f"{error.exc_type.__name__}: {error.exc_value}"
+            for error in errors
+        )
+        pytest.fail(f"unhandled exception in background thread(s): {summaries}")
 
 
 @pytest.fixture(scope="session")
