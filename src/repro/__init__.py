@@ -34,13 +34,16 @@ Subpackages
     Speedup matrices and latency curves (the figures' data).
 ``repro.experiments``
     One generator per paper figure/table (``python -m repro.experiments``).
+``repro.obs``
+    Observability: thread-safe metrics (``/v1/metrics``) and inert span
+    tracing with cross-process stitching (``X-Repro-Trace``).
 ``repro.service``
     Long-lived Plan execution service: job queue, HTTP API with NDJSON
     event streaming, and the ``ServiceClient`` (imported on demand —
     ``import repro.service``).
 """
 
-from . import analysis, core, experiments, gpusim, libraries, models, nn, profiling
+from . import analysis, core, experiments, gpusim, libraries, models, nn, obs, profiling
 from . import api
 from .api import PruningReport, PruningRequest, Session, Target
 from .core import PerformanceAwarePruner
@@ -49,7 +52,7 @@ from .libraries import get_library
 from .models import build_model
 from .profiling import ProfileRunner
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "GpuSimulator",
@@ -71,5 +74,6 @@ __all__ = [
     "libraries",
     "models",
     "nn",
+    "obs",
     "profiling",
 ]

@@ -51,6 +51,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_compl
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..models.layers import ConvLayerSpec
+from ..obs.metrics import default_registry
 from ..profiling.runner import Measurement, ProfileRunner
 from .pipeline import PruningRequest
 from .plan import Plan, Step
@@ -60,6 +61,12 @@ from .target import Target
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .session import Session
+
+_STEPS_TOTAL = default_registry().counter(
+    "repro_executor_steps_total",
+    "Plan steps executed, by backend and step kind.",
+    labelnames=("backend", "kind"),
+)
 
 
 class UnknownExecutorError(UnknownPluginError):
@@ -216,6 +223,21 @@ def run_step(session: "Session", step: Step) -> Any:
     raise ExecutionError(f"no handler for step kind {step.kind!r}")  # pragma: no cover
 
 
+def traced_step(session: "Session", step: Step, backend: str) -> Any:
+    """Run one step inside an ``executor.step`` span, counting it.
+
+    The span and counter are observability only — :func:`run_step` does
+    the work and its result is returned untouched, so traced and
+    untraced executions stay bitwise identical.
+    """
+
+    _STEPS_TOTAL.inc(backend=backend, kind=step.kind)
+    with session.tracer.span(
+        "executor.step", step=step.id, kind=step.kind, backend=backend
+    ):
+        return run_step(session, step)
+
+
 def _run_figure(session: "Session", step: Step) -> Any:
     """Regenerate a registered figure/table through the experiment suite.
 
@@ -264,7 +286,10 @@ class SerialExecutor:
         self.jobs = jobs  # accepted for interface uniformity; unused
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
-        results = {step.id: run_step(session, step) for step in scheduled_order(plan)}
+        results = {
+            step.id: traced_step(session, step, self.name)
+            for step in scheduled_order(plan)
+        }
         return _ordered_results(plan, results)
 
 
@@ -280,13 +305,16 @@ class BatchedExecutor:
 
     def execute(self, session: "Session", plan: Plan) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
-        for wave in wavefronts(plan):
-            for target, per_spec in _wave_workload(session, wave).items():
-                session.runner(target).prefetch(
-                    (spec, sorted(counts)) for spec, counts in per_spec.items()
-                )
-            for step in wave:
-                results[step.id] = run_step(session, step)
+        for index, wave in enumerate(wavefronts(plan)):
+            with session.tracer.span(
+                "executor.wave", backend=self.name, wave=index, width=len(wave)
+            ):
+                for target, per_spec in _wave_workload(session, wave).items():
+                    session.runner(target).prefetch(
+                        (spec, sorted(counts)) for spec, counts in per_spec.items()
+                    )
+                for step in wave:
+                    results[step.id] = traced_step(session, step, self.name)
         return _ordered_results(plan, results)
 
 
@@ -348,23 +376,26 @@ class ProcessExecutor:
         pool = self._external_pool
         owned: Optional[ProcessPoolExecutor] = None
         try:
-            for wave in wavefronts(plan):
-                tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
-                for target, per_spec in _wave_workload(session, wave).items():
-                    runner = session.runner(target)
-                    for spec, counts in per_spec.items():
-                        missing = runner.pending_counts(spec, sorted(counts))
-                        if missing:
-                            tasks.append((target, spec, missing))
-                if tasks:
-                    if pool is None:
-                        # Workers spawn on demand, so the bound may exceed
-                        # this wave's task count without wasting processes.
-                        pool = owned = ProcessPoolExecutor(
-                            max_workers=self.jobs if self.jobs is not None else DEFAULT_POOL_WORKERS
-                        )
-                    self._fan_out(session, pool, tasks)
-                results.update(self._run_wave(session, wave))
+            for index, wave in enumerate(wavefronts(plan)):
+                with session.tracer.span(
+                    "executor.wave", backend=self.name, wave=index, width=len(wave)
+                ):
+                    tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
+                    for target, per_spec in _wave_workload(session, wave).items():
+                        runner = session.runner(target)
+                        for spec, counts in per_spec.items():
+                            missing = runner.pending_counts(spec, sorted(counts))
+                            if missing:
+                                tasks.append((target, spec, missing))
+                    if tasks:
+                        if pool is None:
+                            # Workers spawn on demand, so the bound may exceed
+                            # this wave's task count without wasting processes.
+                            pool = owned = ProcessPoolExecutor(
+                                max_workers=self.jobs if self.jobs is not None else DEFAULT_POOL_WORKERS
+                            )
+                        self._fan_out(session, pool, tasks)
+                    results.update(self._run_wave(session, wave))
         finally:
             if owned is not None:
                 owned.shutdown()
@@ -374,14 +405,15 @@ class ProcessExecutor:
         """Run one wavefront's steps, concurrently when there are several."""
 
         if len(wave) == 1:
-            return {wave[0].id: run_step(session, wave[0])}
+            return {wave[0].id: traced_step(session, wave[0], self.name)}
         # Same default bound as the measurement pool: a very wide wave
         # must not spawn hundreds of threads contending on the locks.
         max_threads = min(len(wave), self.jobs if self.jobs is not None else DEFAULT_POOL_WORKERS)
         results: Dict[str, Any] = {}
         with ThreadPoolExecutor(max_workers=max_threads) as threads:
             futures = {
-                threads.submit(run_step, session, step): step for step in wave
+                threads.submit(traced_step, session, step, self.name): step
+                for step in wave
             }
             failures: List[Tuple[Step, BaseException]] = []
             for future in as_completed(futures):
@@ -458,4 +490,5 @@ __all__ = [
     "resolve_executor",
     "step_workload",
     "run_step",
+    "traced_step",
 ]

@@ -32,7 +32,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from ..obs.metrics import COUNT_BUCKETS, default_registry
 from .plan import Plan, Step
+
+_WAVE_WIDTH = default_registry().histogram(
+    "repro_scheduler_wave_width",
+    "Mutually independent steps per topological wavefront.",
+    buckets=COUNT_BUCKETS,
+)
 
 
 class SchedulerError(RuntimeError):
@@ -136,6 +143,7 @@ def wavefronts(plan: Plan) -> Tuple[Tuple[Step, ...], ...]:
                 "step(s) unreachable"
             )
         waves.append(wave)
+        _WAVE_WIDTH.observe(len(wave))
         for step in wave:
             scheduler.complete(step.id)
     return tuple(waves)

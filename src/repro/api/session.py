@@ -42,12 +42,24 @@ from ..core.staircase import StaircaseAnalysis, analyze_table
 from ..models.graph import Network
 from ..models.layers import ConvLayerSpec
 from ..models.zoo import MODELS
+from ..obs.metrics import default_registry
+from ..obs.trace import Tracer
 from ..profiling.latency_table import LatencyTable, build_latency_table
 from ..profiling.runner import ProfileRunner
 from ..profiling.store import ProfileStore
 from .pipeline import ComparisonReport, PruningReport, PruningRequest
 from .plan import Plan
 from .target import Target, TargetLike, coerce_targets
+
+_CACHE_HITS = default_registry().counter(
+    "repro_session_cache_hits_total", "Session profile-cache hits."
+)
+_CACHE_MISSES = default_registry().counter(
+    "repro_session_cache_misses_total", "Session profile-cache misses."
+)
+_CACHE_EVICTIONS = default_registry().counter(
+    "repro_session_cache_evictions_total", "Session profile-cache LRU evictions."
+)
 
 #: Default bound on cached layer profiles.  Profiling the full model zoo
 #: on the paper's four targets needs well under a thousand entries, so
@@ -191,6 +203,11 @@ class Session:
         ``sweep``/``prune``/``compare``/``profile_network`` methods.
         ``"serial"`` preserves legacy semantics; ``"batched"`` and
         ``"process"`` produce bitwise-identical results faster.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` the executors open
+        per-step/per-wave spans against.  Defaults to a writerless
+        tracer (no recording, near-zero cost).  Tracing is inert:
+        traced and untraced executions are bitwise identical.
     """
 
     def __init__(
@@ -199,6 +216,7 @@ class Session:
         store: StoreLike = None,
         seed: int = 0,
         executor: Union[str, Any] = "serial",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_cache_entries is not None and max_cache_entries < 1:
             raise ValueError(
@@ -209,6 +227,7 @@ class Session:
         self.max_cache_entries = max_cache_entries
         self.seed = seed
         self.default_executor = executor
+        self.tracer = tracer if tracer is not None else Tracer()
         self._store = self._coerce_store(store)
         self._profiles: "OrderedDict[_ProfileKey, LayerProfile]" = OrderedDict()
         self._runners: Dict[_TargetKey, ProfileRunner] = {}
@@ -386,9 +405,11 @@ class Session:
             cached = self._profiles.get(key)
             if cached is not None:
                 self._stats.hits += 1
+                _CACHE_HITS.inc()
                 self._profiles.move_to_end(key)
                 return cached
             self._stats.misses += 1
+            _CACHE_MISSES.inc()
 
         # Built outside the lock: two threads racing the same key both
         # reach the runner, whose own lock serializes the measurement —
@@ -412,6 +433,7 @@ class Session:
             ):
                 self._profiles.popitem(last=False)
                 self._stats.evictions += 1
+                _CACHE_EVICTIONS.inc()
         return profile
 
     def latency_table(

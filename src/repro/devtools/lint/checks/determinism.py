@@ -13,10 +13,19 @@ This checker flags, inside the scoped packages only:
 * ``random`` module usage (imports and ``random.*`` calls);
 * wall-clock reads whose value could leak into results —
   ``time.time``/``time.time_ns`` and ``datetime.now/utcnow/today``;
+* monotonic-clock reads — ``time.monotonic``/``time.perf_counter``
+  (and their ``_ns`` variants);
 * ``uuid.uuid4`` (entropy-backed identifiers);
 * iteration order leaking out of sets: ``for x in {...}`` /
   ``for x in set(...)`` and ``list(set(...))`` / ``tuple(set(...))``
   without a ``sorted`` wrapper.
+
+``repro/obs/`` is also in scope — observability must never feed timing
+back into results — but it is the *one sanctioned home* for clock
+reads: span durations and histogram timings have to read a clock
+somewhere, and that somewhere is ``repro.obs``.  Clock findings are
+therefore suppressed for files under ``repro/obs/`` while every other
+RL002 rule still applies there.
 """
 
 from __future__ import annotations
@@ -28,12 +37,19 @@ from typing import Iterator, Optional
 from ..engine import Checker, Finding, ModuleSource, register_checker
 
 #: Path scope: only files inside the measurement packages are checked.
-_SCOPE_RE = re.compile(r"(^|/)repro/(gpusim|core|profiling)/")
+_SCOPE_RE = re.compile(r"(^|/)repro/(gpusim|core|profiling|obs)/")
+
+#: The one sanctioned home for clock reads (see the module docstring).
+_OBS_RE = re.compile(r"(^|/)repro/obs/")
 
 #: ``module.attr`` call targets that read ambient entropy or clocks.
 _BANNED_CALLS = {
     ("time", "time"): "wall-clock read",
     ("time", "time_ns"): "wall-clock read",
+    ("time", "monotonic"): "monotonic-clock read",
+    ("time", "monotonic_ns"): "monotonic-clock read",
+    ("time", "perf_counter"): "monotonic-clock read",
+    ("time", "perf_counter_ns"): "monotonic-clock read",
     ("datetime", "now"): "wall-clock read",
     ("datetime", "utcnow"): "wall-clock read",
     ("datetime", "today"): "wall-clock read",
@@ -44,6 +60,12 @@ _BANNED_CALLS = {
 
 def in_scope(rel: str) -> bool:
     return _SCOPE_RE.search(rel) is not None
+
+
+def clock_exempt(rel: str) -> bool:
+    """True for ``repro/obs/`` files, where clock reads are sanctioned."""
+
+    return _OBS_RE.search(rel) is not None
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -74,9 +96,10 @@ class NondeterminismChecker(Checker):
     code = "RL002"
     name = "nondeterminism"
     description = (
-        "measurement packages (repro/gpusim, repro/core, repro/profiling) "
-        "must not use random, wall clocks, or set iteration order; "
-        "splitmix64 is the only sanctioned noise source"
+        "measurement packages (repro/gpusim, repro/core, repro/profiling, "
+        "repro/obs) must not use random, clocks, or set iteration order; "
+        "splitmix64 is the only sanctioned noise source and repro/obs the "
+        "only sanctioned home for clock reads"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
@@ -114,7 +137,9 @@ class NondeterminismChecker(Checker):
                     )
                 if len(parts) >= 2:
                     reason = _BANNED_CALLS.get((parts[-2], parts[-1]))
-                    if reason is not None:
+                    if reason is not None and not (
+                        reason.endswith("clock read") and clock_exempt(module.rel)
+                    ):
                         return self.finding(
                             module, node,
                             f"call to '{dotted}' ({reason}) in a measurement "

@@ -8,9 +8,11 @@ Usage::
     python -m repro.experiments table1 table5 --json out.json
     python -m repro.experiments all --fast
     python -m repro.experiments run-plan plan.json --executor process --jobs 4
+    python -m repro.experiments run-plan plan.json --trace trace.jsonl
     python -m repro.experiments serve --port 8765 --profile-store profiles.jsonl
     python -m repro.experiments submit plan.json --url http://127.0.0.1:8765 --watch
     python -m repro.experiments worker --url http://127.0.0.1:8765
+    python -m repro.experiments metrics --url http://127.0.0.1:8765
     python -m repro.experiments store stats profiles.jsonl
     python -m repro.experiments store compact profiles.jsonl
     python -m repro.experiments lint src tests --format json
@@ -72,8 +74,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
             "'targets', 'run-plan PLAN.json [...]', 'serve', "
-            "'submit PLAN.json', 'worker', 'store {compact|stats} PATH', "
-            "or 'lint [PATHS]'"
+            "'submit PLAN.json', 'worker', 'metrics', "
+            "'store {compact|stats} PATH', or 'lint [PATHS]'"
         ),
     )
     parser.add_argument(
@@ -196,6 +198,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker: exit after completing this many leases",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run-plan/serve/worker: append span records (one JSON object "
+            "per line) to this flock-safe trace file; tracing is inert — "
+            "traced runs are bitwise identical to untraced ones"
+        ),
+    )
+    parser.add_argument(
         "--select",
         action="append",
         default=None,
@@ -307,12 +319,16 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     from ..api.plan import Plan, PlanError
     from ..api.registry import UnknownPluginError
     from ..api.session import Session
+    from ..obs.trace import TraceWriter, Tracer
 
     if not plan_paths:
         print("run-plan needs at least one plan file", file=sys.stderr)
         return 2
 
     executor = args.executor or "serial"
+    # A writer-less tracer is a no-op: span bookkeeping runs either way
+    # (it is inert by contract), records hit disk only with --trace.
+    tracer = Tracer(writer=TraceWriter(args.trace) if args.trace else None)
     payloads = []
     for plan_path in plan_paths:
         path = Path(plan_path)
@@ -325,12 +341,15 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
             print(f"invalid plan {path}: {error}", file=sys.stderr)
             return 2
         try:
-            session = Session(store=args.profile_store or None, seed=args.seed)
+            session = Session(
+                store=args.profile_store or None, seed=args.seed, tracer=tracer
+            )
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
         try:
-            results = session.execute(plan, executor=executor, jobs=args.jobs)
+            with tracer.span("run-plan", plan=str(path), executor=executor):
+                results = session.execute(plan, executor=executor, jobs=args.jobs)
         except UnknownPluginError as error:
             print(str(error.args[0] if error.args else error), file=sys.stderr)
             return 2
@@ -357,6 +376,8 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
             },
         })
 
+    if args.trace:
+        print(f"wrote {tracer.writer.written} span(s) to {args.trace}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payloads, handle, indent=2)
@@ -386,6 +407,7 @@ def serve_command(args: argparse.Namespace) -> int:
             workers=args.workers,
             verbose=True,
             lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+            trace=args.trace or None,
         )
     except (OSError, ValueError, UnknownPluginError, LeaseError) as error:
         detail = error.args[0] if error.args else error
@@ -398,6 +420,8 @@ def serve_command(args: argparse.Namespace) -> int:
         f"lease ttl: {server.queue.lease_manager.lease_ttl:g}s",
         flush=True,
     )
+    if args.trace:
+        print(f"tracing job spans to {args.trace}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -445,6 +469,16 @@ def submit_command(plan_paths: List[str], args: argparse.Namespace) -> int:
         f"job {final['id']} {final['status']}; "
         f"simulated {0 if simulations is None else simulations} configuration(s)"
     )
+    # Per-step wall timings, straight from the job record the workers
+    # stamped while running (duration_ms is measured server-side).
+    for record in final.get("steps") or []:
+        duration_ms = record.get("duration_ms")
+        timing = (
+            f"{duration_ms:.1f} ms"
+            if isinstance(duration_ms, (int, float))
+            else "not run"
+        )
+        print(f"  step {record['id']} [{record['kind']}] {record['status']}: {timing}")
     if final["status"] == "failed" and final.get("error"):
         print(final["error"], file=sys.stderr)
     return 0 if final["status"] == "succeeded" else 1
@@ -464,6 +498,7 @@ def worker_command(args: argparse.Namespace) -> int:
             max_idle=args.max_idle,
             max_leases=args.max_leases,
             on_event=lambda message: print(message, flush=True),
+            trace=args.trace or None,
         )
     except KeyboardInterrupt:
         print("worker interrupted; letting any held lease expire", flush=True)
@@ -472,6 +507,21 @@ def worker_command(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
     print(f"worker done: {completed} lease(s) completed", flush=True)
+    return 0
+
+
+def metrics_command(args: argparse.Namespace) -> int:
+    """Scrape a running service's metrics (Prometheus text format)."""
+
+    from ..service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        text = client.metrics_text()
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -533,6 +583,8 @@ def main(argv: List[str] | None = None) -> int:
         return submit_command(args.experiments[1:], args)
     if first == "worker":
         return worker_command(args)
+    if first == "metrics":
+        return metrics_command(args)
     if first == "store":
         return store_command(args.experiments[1:], args)
     if first == "lint":

@@ -1,0 +1,51 @@
+"""``repro.obs`` — observability: metrics, span tracing, scrape surface.
+
+The reproduction measures a measurement system; this package measures
+the reproduction itself.  Two halves:
+
+``metrics``
+    A thread-safe :class:`MetricsRegistry` of :class:`Counter` /
+    :class:`Gauge` / :class:`Histogram` families with labeled series,
+    deterministic ``snapshot()`` dicts and a Prometheus text renderer.
+    Instrumented modules declare handles against
+    :func:`default_registry` at import time; the server exposes it at
+    ``GET /v1/metrics`` (text) and ``GET /v1/metrics.json``.
+``trace``
+    Span tracing (:class:`Tracer`, :class:`Span`, :class:`SpanContext`)
+    with monotonic durations, a flock-safe JSONL :class:`TraceWriter`
+    and ``X-Repro-Trace`` header propagation so a fleet worker's
+    measurement spans stitch under the submitting job's trace.
+
+Everything here is *inert* by contract: no metric or span may perturb
+the splitmix64 noise stream, and traced plan execution is bitwise
+identical to untraced (asserted in tests).  This package is also the
+only place the RL002 linter permits wall/monotonic clock reads.
+"""
+
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import TRACE_HEADER, Span, SpanContext, TraceWriter, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "TRACE_HEADER",
+    "TraceWriter",
+    "Tracer",
+    "default_registry",
+]

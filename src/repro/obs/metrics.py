@@ -1,0 +1,456 @@
+"""Thread-safe metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of metrics.  Each metric
+is a *family*: an optionally labeled set of series, where a series is one
+``(label values…) -> state`` cell.  Declaring the same name twice with an
+identical shape returns the existing family (so module-level handles in
+independently imported modules converge on one series), while a
+conflicting redeclaration raises :class:`MetricsError`.
+
+Design constraints, in order:
+
+1. **Determinism.**  Snapshots must not depend on thread arrival order:
+   histogram bucket boundaries are fixed at declaration time,
+   ``snapshot()`` sorts metric names and label tuples, and no clock is
+   ever read here — durations are *observed into* histograms by callers
+   (``repro.obs`` is the only package the RL002 linter permits to read
+   monotonic clocks, and this module doesn't even need that).
+2. **Thread safety.**  Every family guards its series map with its own
+   lock; increments are read-modify-write under that lock so concurrent
+   writers never lose updates (proved by a hammer test).
+3. **Plain data out.**  ``snapshot()`` returns JSON-ready dicts and
+   ``render_prometheus()`` emits Prometheus text exposition — the
+   ``/v1/metrics`` route byte-serves the latter, ``/v1/metrics.json``
+   the former, from the same state.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+
+class MetricsError(ValueError):
+    """Raised for invalid metric declarations, labels or updates."""
+
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Latency buckets (seconds) — wide enough for sub-millisecond simulator
+#: steps and minute-long fleet drains alike.
+DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Power-of-two size buckets for widths/batch sizes/queue depths.
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+
+def _validate_metric_name(name: str) -> str:
+    if not isinstance(name, str) or not _METRIC_NAME_RE.match(name):
+        raise MetricsError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _validate_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not isinstance(label, str) or not _LABEL_NAME_RE.match(label):
+            raise MetricsError(f"invalid label name: {label!r}")
+        if label == "le":
+            raise MetricsError("label name 'le' is reserved for histogram buckets")
+    if len(set(names)) != len(names):
+        raise MetricsError(f"duplicate label names: {names!r}")
+    return names
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _render_labels(labelnames: Sequence[str], key: Sequence[str],
+                   extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(labelnames, key)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class _Metric:
+    """Shared family plumbing: label keying and the series lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = _validate_metric_name(name)
+        self.help = str(help)
+        self.labelnames = _validate_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    # Private on purpose: called only while holding ``self._lock``.
+    def _label_key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if sorted(labels) != sorted(self.labelnames):
+            raise MetricsError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def snapshot_series(self) -> List[dict]:
+        with self._lock:
+            out = []
+            for key in sorted(self._series):
+                entry = {"labels": dict(zip(self.labelnames, key))}
+                entry.update(self._series_payload(key))
+                out.append(entry)
+            return out
+
+    def _series_payload(self, key: Tuple[str, ...]) -> dict:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        payload = {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": self.snapshot_series(),
+        }
+        return payload
+
+    def render_prometheus(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self._render_series())
+        return lines
+
+    def _render_series(self) -> List[str]:
+        raise NotImplementedError
+
+
+class _ScalarMetric(_Metric):
+    """A family whose series state is a single float."""
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0.0 if never touched)."""
+        with self._lock:
+            return float(self._series.get(self._label_key(labels), 0.0))
+
+    def _series_payload(self, key: Tuple[str, ...]) -> dict:
+        return {"value": float(self._series[key])}
+
+    def _render_series(self) -> List[str]:
+        lines = []
+        for entry in self.snapshot_series():
+            key = tuple(entry["labels"][name] for name in self.labelnames)
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}{labels} {_format_value(entry['value'])}")
+        return lines
+
+
+class Counter(_ScalarMetric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        with self._lock:
+            self._add_locked(self._label_key(labels), amount)
+
+    def labels(self, **labels: object) -> "_BoundCounter":
+        with self._lock:
+            return _BoundCounter(self, self._label_key(labels))
+
+    def _add_locked(self, key: Tuple[str, ...], amount: float) -> None:
+        amount = float(amount)
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def _inc_key(self, key: Tuple[str, ...], amount: float) -> None:
+        with self._lock:
+            self._add_locked(key, amount)
+
+
+class Gauge(_ScalarMetric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[self._label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        with self._lock:
+            key = self._label_key(labels)
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-float(amount), **labels)
+
+    def labels(self, **labels: object) -> "_BoundGauge":
+        with self._lock:
+            return _BoundGauge(self, self._label_key(labels))
+
+    def _set_key(self, key: Tuple[str, ...], value: float) -> None:
+        with self._lock:
+            self._series[key] = float(value)
+
+    def _inc_key(self, key: Tuple[str, ...], amount: float) -> None:
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(amount)
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, slots: int) -> None:
+        self.bucket_counts = [0] * slots
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-boundary distribution; boundaries are ``le`` upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S) -> None:
+        super().__init__(name, help=help, labelnames=labelnames)
+        boundaries = tuple(float(edge) for edge in buckets)
+        if not boundaries:
+            raise MetricsError(f"histogram {name!r} needs at least one bucket")
+        if list(boundaries) != sorted(set(boundaries)):
+            raise MetricsError(
+                f"histogram {name!r} buckets must be strictly increasing: "
+                f"{boundaries!r}"
+            )
+        self.buckets = boundaries
+
+    def observe(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._observe_locked(self._label_key(labels), value)
+
+    def labels(self, **labels: object) -> "_BoundHistogram":
+        with self._lock:
+            return _BoundHistogram(self, self._label_key(labels))
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """Estimated q-quantile via linear interpolation inside buckets.
+
+        Returns ``None`` for an untouched series.  Observations beyond
+        the last finite boundary clamp to it (Prometheus convention).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            state = self._series.get(self._label_key(labels))
+            if state is None or state.count == 0:
+                return None
+            target = q * state.count
+            cumulative = 0.0
+            lower = 0.0
+            for boundary, bucket_count in zip(self.buckets, state.bucket_counts):
+                if bucket_count > 0 and cumulative + bucket_count >= target:
+                    fraction = (target - cumulative) / bucket_count
+                    fraction = min(1.0, max(0.0, fraction))
+                    return lower + (boundary - lower) * fraction
+                cumulative += bucket_count
+                lower = boundary
+            return self.buckets[-1]
+
+    def _observe_locked(self, key: Tuple[str, ...], value: float) -> None:
+        number = float(value)
+        state = self._series.get(key)
+        if state is None:
+            state = self._series[key] = _HistogramState(len(self.buckets) + 1)
+        state.bucket_counts[bisect.bisect_left(self.buckets, number)] += 1
+        state.sum += number
+        state.count += 1
+
+    def _observe_key(self, key: Tuple[str, ...], value: float) -> None:
+        with self._lock:
+            self._observe_locked(key, value)
+
+    def describe(self) -> dict:
+        payload = super().describe()
+        payload["buckets"] = list(self.buckets)
+        return payload
+
+    def _series_payload(self, key: Tuple[str, ...]) -> dict:
+        state = self._series[key]
+        cumulative = 0
+        rows = []
+        edges = [str(edge) for edge in self.buckets] + ["+Inf"]
+        for edge, bucket_count in zip(edges, state.bucket_counts):
+            cumulative += bucket_count
+            rows.append([edge, cumulative])
+        return {"count": state.count, "sum": state.sum, "buckets": rows}
+
+    def _render_series(self) -> List[str]:
+        lines = []
+        for entry in self.snapshot_series():
+            key = tuple(entry["labels"][name] for name in self.labelnames)
+            for edge, cumulative in entry["buckets"]:
+                le = edge if edge == "+Inf" else _format_value(float(edge))
+                labels = _render_labels(self.labelnames, key, extra=("le", le))
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{labels} {_format_value(entry['sum'])}")
+            lines.append(f"{self.name}_count{labels} {entry['count']}")
+        return lines
+
+
+class _BoundCounter:
+    """One labeled counter series; pre-resolved key, no per-call lookup."""
+
+    def __init__(self, metric: Counter, key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc_key(self._key, amount)
+
+
+class _BoundGauge:
+    def __init__(self, metric: Gauge, key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._metric._set_key(self._key, value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc_key(self._key, amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._metric._inc_key(self._key, -float(amount))
+
+
+class _BoundHistogram:
+    def __init__(self, metric: Histogram, key: Tuple[str, ...]) -> None:
+        self._metric = metric
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._metric._observe_key(self._key, value)
+
+
+class MetricsRegistry:
+    """A named, typed collection of metric families.
+
+    Declarations are idempotent: re-declaring an identical shape returns
+    the existing family, so every importer of an instrumented module
+    shares one set of series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        with self._lock:
+            return self._declare_locked(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        with self._lock:
+            return self._declare_locked(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S) -> Histogram:
+        with self._lock:
+            return self._declare_locked(
+                Histogram, name, help, labelnames, buckets=tuple(buckets)
+            )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def _declare_locked(self, cls, name, help, labelnames, **extra):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            same = (
+                type(existing) is cls
+                and existing.labelnames == tuple(labelnames)
+                and (not extra or existing.buckets == tuple(extra["buckets"]))
+            )
+            if not same:
+                raise MetricsError(
+                    f"metric {name!r} already registered with a different shape"
+                )
+            return existing
+        metric = cls(name, help=help, labelnames=labelnames, **extra)
+        self._metrics[name] = metric
+        return metric
+
+    def snapshot(self) -> Dict[str, dict]:
+        """All families as plain sorted dicts (JSON-ready)."""
+        with self._lock:
+            families = [self._metrics[name] for name in sorted(self._metrics)]
+        return {metric.name: metric.describe() for metric in families}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format, one family per block."""
+        with self._lock:
+            families = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in families:
+            lines.extend(metric.render_prometheus())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented module reports into."""
+    return _DEFAULT_REGISTRY

@@ -29,7 +29,19 @@ from ..gpusim.batch import simulate_batch
 from ..gpusim.device import DEVICES, DeviceSpec
 from ..libraries.base import LIBRARIES, ConvolutionLibrary
 from ..models.layers import ConvLayerSpec
+from ..obs.metrics import COUNT_BUCKETS, default_registry
 from .profilers import noise_material, noise_matrix
+
+_SIMULATIONS = default_registry().counter(
+    "repro_profile_simulations_total",
+    "Configurations that actually hit the simulator (cache/store hits excluded).",
+    labelnames=("device", "library"),
+)
+_BATCH_SIZE = default_registry().histogram(
+    "repro_profile_batch_size",
+    "Configurations per vectorized simulate_batch call.",
+    buckets=COUNT_BUCKETS,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.target import Target
@@ -281,6 +293,10 @@ class ProfileRunner:
         minima = times_ms.min(axis=1)
         maxima = times_ms.max(axis=1)
         self.simulations += len(plans)
+        _SIMULATIONS.inc(
+            len(plans), device=self.device.name, library=self.library.name
+        )
+        _BATCH_SIZE.observe(len(plans))
         return [
             Measurement(
                 layer_name=layer.name,

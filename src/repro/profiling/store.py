@@ -64,7 +64,25 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from ..models.layers import ConvLayerSpec
+from ..obs.metrics import default_registry
 from .runner import Measurement
+
+_STORE_APPENDS = default_registry().counter(
+    "repro_store_appends_total",
+    "Sweep records appended to a profile store file.",
+)
+_STORE_RELOADS = default_registry().counter(
+    "repro_store_reloads_total",
+    "Full store-file loads into the in-memory index.",
+)
+_STORE_COMPACTIONS = default_registry().counter(
+    "repro_store_compactions_total",
+    "Atomic compact() rewrites of a profile store file.",
+)
+_STORE_FILE_BYTES = default_registry().gauge(
+    "repro_store_file_bytes",
+    "Size of the profile store file after the most recent append/compact.",
+)
 
 #: Bump whenever the measurement model changes (simulator cost formulas,
 #: noise model, Measurement schema): old lines are skipped on load.
@@ -154,6 +172,7 @@ class ProfileStore:
                         for measurement in measurements:
                             group[measurement.out_channels] = measurement
             self._index = index
+            _STORE_RELOADS.inc()
             return index
 
     def __len__(self) -> int:
@@ -234,8 +253,10 @@ class ProfileStore:
             try:
                 handle.write(line)
                 handle.flush()
+                _STORE_FILE_BYTES.set(handle.tell())
             finally:
                 self._unlock_and_close(handle)
+            _STORE_APPENDS.inc()
             group = self._load().setdefault(key, {})
             for measurement in measurements:
                 group[measurement.out_channels] = measurement
@@ -336,6 +357,8 @@ class ProfileStore:
         finally:
             self._unlock_and_close(lock_handle)
         self._index = index
+        _STORE_COMPACTIONS.inc()
+        _STORE_FILE_BYTES.set(self.path.stat().st_size)
         kept = sum(len(group) for group in index.values())
         return total_entries - kept
 

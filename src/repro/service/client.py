@@ -24,6 +24,7 @@ import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from ..api.plan import Plan
+from ..obs.trace import TRACE_HEADER, SpanContext
 
 
 class ServiceError(RuntimeError):
@@ -49,9 +50,16 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
-    def _open(self, method: str, path: str, payload: Any = None, timeout: Optional[float] = None):
+    def _open(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ):
         body = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json", **(headers or {})}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -75,8 +83,14 @@ class ServiceClient:
         except urllib.error.URLError as error:
             raise ServiceError(f"cannot reach {self.url}: {error.reason}") from error
 
-    def _request(self, method: str, path: str, payload: Any = None) -> Any:
-        with self._open(method, path, payload) as response:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Any:
+        with self._open(method, path, payload, headers=headers) as response:
             return json.loads(response.read().decode("utf-8"))
 
     # ------------------------------------------------------------------
@@ -94,8 +108,15 @@ class ServiceClient:
         executor: Optional[str] = None,
         jobs: Optional[int] = None,
         seed: Optional[int] = None,
+        trace: Union[SpanContext, str, None] = None,
     ) -> Dict[str, Any]:
-        """Submit a plan; returns the queued job record (``202``)."""
+        """Submit a plan; returns the queued job record (``202``).
+
+        ``trace`` (a :class:`~repro.obs.trace.SpanContext` or a
+        pre-rendered ``trace_id/span_id`` header value) is sent as the
+        ``X-Repro-Trace`` header, so the server-side job's spans stitch
+        under the caller's trace.
+        """
 
         payload: Dict[str, Any] = {
             "plan": plan.to_dict() if isinstance(plan, Plan) else plan
@@ -106,7 +127,11 @@ class ServiceClient:
             payload["jobs"] = jobs
         if seed is not None:
             payload["seed"] = seed
-        return self._request("POST", "/v1/plans", payload)
+        headers = None
+        if trace is not None:
+            value = trace.to_header() if isinstance(trace, SpanContext) else trace
+            headers = {TRACE_HEADER: value}
+        return self._request("POST", "/v1/plans", payload, headers=headers)
 
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/jobs")["jobs"]
@@ -176,6 +201,20 @@ class ServiceClient:
                     f"after {timeout}s"
                 )
             time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """The server's full metrics snapshot (``GET /v1/metrics.json``)."""
+
+        return self._request("GET", "/v1/metrics.json")
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text format (``GET /v1/metrics``)."""
+
+        with self._open("GET", "/v1/metrics") as response:
+            return response.read().decode("utf-8")
 
     # ------------------------------------------------------------------
     # Fleet surface (used by repro.service.fleet.worker)

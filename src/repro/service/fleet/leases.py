@@ -37,6 +37,31 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ...obs.metrics import default_registry
+
+_LEASES_PUBLISHED = default_registry().counter(
+    "repro_leases_published_total", "Measurement leases published to the fleet."
+)
+_LEASES_COMPLETED = default_registry().counter(
+    "repro_leases_completed_total", "Leases completed with valid measurements."
+)
+_LEASES_EXPIRED = default_registry().counter(
+    "repro_leases_expired_total", "Claimed leases re-queued after a missed heartbeat."
+)
+_LEASES_FAILED = default_registry().counter(
+    "repro_leases_failed_total", "Leases failed permanently (attempts exhausted)."
+)
+_LEASE_CLAIMS = default_registry().counter(
+    "repro_lease_claims_total", "Successful lease claims by fleet workers."
+)
+_LEASE_HEARTBEATS = default_registry().counter(
+    "repro_lease_heartbeats_total", "Lease heartbeats accepted from workers."
+)
+_CLAIM_WAIT = default_registry().histogram(
+    "repro_lease_claim_wait_seconds",
+    "Long-poll wait before a claim returned a lease.",
+)
+
 #: Default seconds a claimed lease may go without a heartbeat before it
 #: is considered lost and re-queued.
 DEFAULT_LEASE_TTL = 30.0
@@ -95,6 +120,10 @@ class Lease:
     error: Optional[str] = None
     results: Optional[List[Dict[str, Any]]] = None
     published_at: float = field(default_factory=time.time)
+    #: ``trace_id/span_id`` of the publishing executor's span, if any —
+    #: workers adopt it so their measurement spans stitch under the
+    #: submitting job's trace.
+    trace: Optional[str] = None
 
     def claim_payload(self, ttl: float) -> Dict[str, Any]:
         """The wire shape a claiming worker receives."""
@@ -108,6 +137,7 @@ class Lease:
             "job": self.job_id,
             "attempt": self.attempts,
             "ttl": ttl,
+            "trace": self.trace,
         }
 
 
@@ -181,11 +211,14 @@ class LeaseManager:
         self,
         tasks: Sequence[Tuple[Dict[str, Any], Dict[str, Any], Sequence[int], int]],
         job_id: Optional[str] = None,
+        trace: Optional[str] = None,
     ) -> Tuple[str, ...]:
         """Queue ``(target dict, spec dict, counts, seed)`` tasks as leases.
 
         Returns the new lease ids in task order; blocked claimers are
-        woken immediately.
+        woken immediately.  ``trace`` (a ``trace_id/span_id`` header
+        string) rides along on every lease so workers can stitch their
+        spans under the publishing job's trace.
         """
 
         leases: List[Lease] = []
@@ -200,12 +233,14 @@ class LeaseManager:
                 counts=counts,
                 seed=int(seed),
                 job_id=job_id,
+                trace=trace,
             ))
         with self._lock:
             for lease in leases:
                 self._leases[lease.id] = lease
                 self._pending.append(lease.id)
             self.published += len(leases)
+            _LEASES_PUBLISHED.inc(len(leases))
             self._changed.notify_all()
         return tuple(lease.id for lease in leases)
 
@@ -237,6 +272,7 @@ class LeaseManager:
             if lease.deadline > now:
                 continue
             self.expired += 1
+            _LEASES_EXPIRED.inc()
             self._requeue_or_fail_locked(
                 lease,
                 f"worker {lease.worker} missed its heartbeat deadline "
@@ -250,6 +286,7 @@ class LeaseManager:
             lease.status = "failed"
             lease.error = reason
             self.failed += 1
+            _LEASES_FAILED.inc()
         else:
             lease.status = "pending"
             lease.error = reason  # last failure, informational
@@ -267,7 +304,8 @@ class LeaseManager:
         starts the heartbeat deadline and counts an attempt.
         """
 
-        deadline = time.monotonic() + max(0.0, timeout)
+        started = time.monotonic()
+        deadline = started + max(0.0, timeout)
         with self._lock:
             self._touch_worker(worker_id)
             while True:
@@ -280,6 +318,8 @@ class LeaseManager:
                     lease.worker = worker_id
                     lease.attempts += 1
                     lease.deadline = time.monotonic() + self.lease_ttl
+                    _LEASE_CLAIMS.inc()
+                    _CLAIM_WAIT.observe(time.monotonic() - started)
                     self._changed.notify_all()
                     return lease.claim_payload(self.lease_ttl)
                 remaining = deadline - time.monotonic()
@@ -307,6 +347,7 @@ class LeaseManager:
             lease = self._held_lease_locked(lease_id, worker_id)
             lease.deadline = time.monotonic() + self.lease_ttl
             self._touch_worker(worker_id)
+            _LEASE_HEARTBEATS.inc()
             return {"lease": lease_id, "ttl": self.lease_ttl}
 
     def complete(
@@ -356,6 +397,7 @@ class LeaseManager:
             lease.worker = worker_id
             lease.deadline = None
             self.completed += 1
+            _LEASES_COMPLETED.inc()
             if worker_id in self._workers:
                 self._workers[worker_id]["completed"] += 1
             self._changed.notify_all()
@@ -420,18 +462,24 @@ class LeaseManager:
     # Monitoring
     # ------------------------------------------------------------------
     def status(self) -> Dict[str, Any]:
-        """The ``GET /v1/fleet`` snapshot: lease counts and workers."""
+        """The ``GET /v1/fleet`` snapshot: lease counts, workers and
+        the autoscaling signals a pool controller needs (pending
+        backlog, busy/idle split, claim-wait percentiles)."""
 
         with self._lock:
             self._expire_overdue_locked()
             counts = {status: 0 for status in LEASE_STATUSES}
+            busy = set()
             for lease in self._leases.values():
                 counts[lease.status] += 1
+                if lease.status == "claimed" and lease.worker is not None:
+                    busy.add(lease.worker)
             active_cutoff = time.time() - 3.0 * self.lease_ttl
             workers = [
                 {**record, "active": record["last_seen"] >= active_cutoff}
                 for record in self._workers.values()
             ]
+            active = sum(1 for record in workers if record["active"])
             return {
                 "lease_ttl": self.lease_ttl,
                 "max_attempts": self.max_attempts,
@@ -443,6 +491,16 @@ class LeaseManager:
                     "failed": self.failed,
                 },
                 "workers": workers,
+                # Scale up on pending_leases / claim-wait growth, down on
+                # idle_workers.  The percentiles come from the process-wide
+                # claim-wait histogram (None until the first claim).
+                "autoscaling": {
+                    "pending_leases": counts["pending"],
+                    "busy_workers": len(busy),
+                    "idle_workers": max(0, active - len(busy)),
+                    "claim_wait_p50_s": _CLAIM_WAIT.quantile(0.5),
+                    "claim_wait_p95_s": _CLAIM_WAIT.quantile(0.95),
+                },
             }
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-from ...api.executor import ExecutionError, _wave_workload, run_step, _ordered_results
+from ...api.executor import ExecutionError, _wave_workload, traced_step, _ordered_results
 from ...api.scheduler import wavefronts
 from ...models.layers import ConvLayerSpec
 from ...profiling.runner import Measurement
@@ -101,29 +101,36 @@ class RemoteExecutor:
                 "with `repro-experiments submit`"
             )
         results: Dict[str, Any] = {}
-        for wave in wavefronts(plan):
-            tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
-            for target, per_spec in _wave_workload(session, wave).items():
-                runner = session.runner(target)
-                for spec, counts in per_spec.items():
-                    missing = runner.pending_counts(spec, sorted(counts))
-                    if missing:
-                        tasks.append((target, spec, missing))
-            if tasks:
-                self._fan_out(session, tasks)
-            for step in wave:
-                results[step.id] = run_step(session, step)
+        for index, wave in enumerate(wavefronts(plan)):
+            with session.tracer.span(
+                "executor.wave", backend=self.name, wave=index, width=len(wave)
+            ):
+                tasks: List[Tuple[Target, ConvLayerSpec, List[int]]] = []
+                for target, per_spec in _wave_workload(session, wave).items():
+                    runner = session.runner(target)
+                    for spec, counts in per_spec.items():
+                        missing = runner.pending_counts(spec, sorted(counts))
+                        if missing:
+                            tasks.append((target, spec, missing))
+                if tasks:
+                    self._fan_out(session, tasks)
+                for step in wave:
+                    results[step.id] = traced_step(session, step, self.name)
         return _ordered_results(plan, results)
 
     def _fan_out(
         self, session: "Session", tasks: List[Tuple[Target, ConvLayerSpec, List[int]]]
     ) -> None:
+        # Stamp the publishing span's context onto the leases so worker
+        # spans stitch under this job's trace.
+        context = session.tracer.current_context()
         lease_ids = self.manager.publish(
             [
                 (target.to_dict(), spec.as_dict(), counts, session.seed)
                 for target, spec, counts in tasks
             ],
             job_id=self.job_id,
+            trace=context.to_header() if context is not None else None,
         )
         by_lease = {
             lease_id: (target, spec)

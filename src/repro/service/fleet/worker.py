@@ -29,7 +29,18 @@ import time
 import traceback
 from typing import Any, Callable, Dict, Optional
 
+from ...obs.metrics import default_registry
+from ...obs.trace import SpanContext, Tracer
 from ..client import ServiceClient, ServiceError
+
+_WORKER_COMPLETED = default_registry().counter(
+    "repro_fleet_worker_completed_total",
+    "Leases this process's fleet workers completed successfully.",
+)
+_WORKER_ERRORS = default_registry().counter(
+    "repro_fleet_worker_errors_total",
+    "Leases this process's fleet workers failed locally.",
+)
 
 #: Fallback claim long-poll horizon (seconds) per request.
 DEFAULT_POLL_SECONDS = 5.0
@@ -56,6 +67,11 @@ class FleetWorker:
     on_event:
         Optional callable receiving progress strings (the CLI prints
         them).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when a claimed lease
+        carries a ``trace`` context, the measurement runs inside a
+        ``worker.measure`` span adopted under it, so worker spans stitch
+        into the submitting job's trace.
     """
 
     def __init__(
@@ -67,6 +83,7 @@ class FleetWorker:
         max_leases: Optional[int] = None,
         client: Optional[ServiceClient] = None,
         on_event: Optional[Callable[[str], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if client is None and url is None:
             raise ValueError("FleetWorker needs a service url or a client")
@@ -78,6 +95,7 @@ class FleetWorker:
         self.max_idle = max_idle
         self.max_leases = max_leases
         self._emit = on_event if on_event is not None else (lambda message: None)
+        self.tracer = tracer if tracer is not None else Tracer()
         self.worker_id: Optional[str] = None
         self.completed = 0
         self.errors = 0
@@ -129,12 +147,20 @@ class FleetWorker:
         )
         heartbeat.start()
         try:
-            payloads = self._measure(lease)
+            with self.tracer.adopt(SpanContext.parse(lease.get("trace"))):
+                with self.tracer.span(
+                    "worker.measure",
+                    lease=lease_id,
+                    job=lease.get("job"),
+                    worker=self.worker_id,
+                ):
+                    payloads = self._measure(lease)
         except Exception:
             error = traceback.format_exc()
             stop_heartbeat.set()
             heartbeat.join()
             self.errors += 1
+            _WORKER_ERRORS.inc()
             self._finish(lease_id, error=error)
             self._emit(f"lease {lease_id} failed locally; reported the error")
             return
@@ -142,6 +168,7 @@ class FleetWorker:
         heartbeat.join()
         if self._finish(lease_id, measurements=payloads):
             self.completed += 1
+            _WORKER_COMPLETED.inc()
             self._emit(
                 f"lease {lease_id} completed "
                 f"({lease['spec'].get('name', '?')} x{len(lease['counts'])} "
@@ -196,9 +223,18 @@ def run_worker(
     max_idle: Optional[float] = None,
     max_leases: Optional[int] = None,
     on_event: Optional[Callable[[str], None]] = None,
+    trace: Optional[str] = None,
 ) -> int:
-    """Build and run a :class:`FleetWorker` (the ``worker`` CLI backend)."""
+    """Build and run a :class:`FleetWorker` (the ``worker`` CLI backend).
 
+    ``trace`` names a JSONL file to append ``worker.measure`` spans to;
+    the writer is flock-safe, so several workers (and the server) may
+    share one file.
+    """
+
+    from ...obs.trace import TraceWriter
+
+    tracer = Tracer(writer=TraceWriter(trace)) if trace else None
     return FleetWorker(
         url=url,
         name=name,
@@ -206,6 +242,7 @@ def run_worker(
         max_idle=max_idle,
         max_leases=max_leases,
         on_event=on_event,
+        tracer=tracer,
     ).run()
 
 

@@ -110,6 +110,9 @@ class Job:
     error: Optional[str] = None
     simulations: Optional[int] = None
     cancel_requested: bool = False
+    #: ``trace_id/span_id`` from the submitter's ``X-Repro-Trace``
+    #: header, if any; the queue adopts it as the job span's parent.
+    trace: Optional[str] = None
     steps: List[StepRecord] = field(default_factory=list)
     events: List[Dict[str, Any]] = field(default_factory=list)
 
@@ -159,6 +162,7 @@ class Job:
             "error": self.error,
             "simulations": self.simulations,
             "cancel_requested": self.cancel_requested,
+            "trace": self.trace,
             "steps": [record.to_dict() for record in self.steps],
             "events": list(self.events),
         }
@@ -183,6 +187,7 @@ class Job:
             error=payload.get("error"),
             simulations=payload.get("simulations"),
             cancel_requested=bool(payload.get("cancel_requested", False)),
+            trace=payload.get("trace"),
             steps=[StepRecord.from_dict(entry) for entry in payload.get("steps", [])],
             events=list(payload.get("events", [])),
         )
@@ -355,12 +360,14 @@ class JobStore:
         jobs: Optional[int] = None,
         seed: int = 0,
         steps: Optional[List[Tuple[str, str]]] = None,
+        trace: Optional[str] = None,
     ) -> Job:
         """Register a new queued job for an already-validated plan payload.
 
         ``steps`` is the ``[(id, kind), ...]`` skeleton of the plan (the
         caller validated the plan, so it knows); every step starts
-        ``pending``.
+        ``pending``.  ``trace`` is the submitter's ``X-Repro-Trace``
+        context, recorded verbatim.
         """
 
         job = Job(
@@ -370,6 +377,7 @@ class JobStore:
             jobs=jobs,
             seed=seed,
             submitted_at=time.time(),
+            trace=trace,
             steps=[StepRecord(id=step_id, kind=kind) for step_id, kind in steps or []],
         )
         with self._lock:

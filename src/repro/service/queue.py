@@ -39,9 +39,28 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 from ..api.plan import Plan, PlanError, Step
 from ..api.scheduler import scheduled_order
 from ..api.session import Session
+from ..obs.metrics import default_registry
+from ..obs.trace import SpanContext, TraceWriter, Tracer
 from .fleet.leases import DEFAULT_LEASE_TTL, LeaseManager, LeaseWaitAborted
 from .jobs import Job, JobStore
 from .results import step_result_payload
+
+_JOBS_SUBMITTED = default_registry().counter(
+    "repro_jobs_submitted_total", "Plan jobs accepted by the queue."
+)
+_JOBS_FINISHED = default_registry().counter(
+    "repro_jobs_finished_total",
+    "Jobs moved to a terminal status by the queue, by outcome.",
+    labelnames=("status",),
+)
+_JOB_STEPS = default_registry().counter(
+    "repro_job_steps_total",
+    "Plan steps the queue finished, by outcome.",
+    labelnames=("status",),
+)
+_QUEUE_DEPTH = default_registry().gauge(
+    "repro_job_queue_depth", "Queued job ids awaiting a worker."
+)
 
 #: Wakes idle workers so they can notice the shutdown flag.
 _POLL_SECONDS = 0.1
@@ -76,6 +95,12 @@ class JobQueue:
         Heartbeat deadline (seconds) of the queue's
         :class:`~repro.service.fleet.leases.LeaseManager`; a fleet
         worker that goes silent this long loses its lease.
+    trace:
+        Optional path to a JSONL trace file.  Every job then runs under
+        a ``job`` root span (adopted under the submitter's
+        ``X-Repro-Trace`` context when one was sent) with per-wave and
+        per-step child spans appended by the executors.  Tracing is
+        inert: traced execution is bitwise identical to untraced.
     """
 
     def __init__(
@@ -86,6 +111,7 @@ class JobQueue:
         jobs: Optional[int] = None,
         workers: int = 1,
         lease_ttl: float = DEFAULT_LEASE_TTL,
+        trace: Union[str, Path, None] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -102,6 +128,7 @@ class JobQueue:
         # executor publish their measurement workload here, and the HTTP
         # layer's /v1/leases routes let fleet workers pull from it.
         self.lease_manager = LeaseManager(lease_ttl=lease_ttl)
+        self.trace_writer = TraceWriter(trace) if trace is not None else None
         self._queue: "_stdlib_queue.Queue[Optional[str]]" = _stdlib_queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
@@ -139,8 +166,13 @@ class JobQueue:
         executor: Optional[str] = None,
         jobs: Optional[int] = None,
         seed: int = 0,
+        trace: Optional[str] = None,
     ) -> Job:
         """Validate a plan payload, register it and queue it for execution.
+
+        ``trace`` is the submitter's ``X-Repro-Trace`` context header;
+        the job's root span is adopted under it so client and server
+        spans stitch into one trace.
 
         Raises :class:`~repro.api.plan.PlanError` for structurally
         invalid plans and :class:`ValueError` for bad ``seed``/``jobs``
@@ -167,14 +199,23 @@ class JobQueue:
                 jobs=jobs if jobs is not None else self.default_jobs,
                 seed=seed,
                 steps=[(step.id, step.kind) for step in validated],
+                trace=trace,
             )
             self._queue.put(job.id)
+            _JOBS_SUBMITTED.inc()
+            _QUEUE_DEPTH.set(self._queue.qsize())
         return job
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; see :meth:`JobStore.request_cancel`."""
 
-        return self.store.request_cancel(job_id)
+        was_done = self.store.get(job_id).done
+        job = self.store.request_cancel(job_id)
+        if job.done and not was_done:
+            # Queued jobs cancel immediately without passing through a
+            # worker, so count their terminal transition here.
+            _JOBS_FINISHED.inc(status=job.status)
+        return job
 
     # ------------------------------------------------------------------
     # Worker side
@@ -190,6 +231,7 @@ class JobQueue:
             if job_id is None:  # shutdown sentinel
                 self._queue.task_done()
                 return
+            _QUEUE_DEPTH.set(self._queue.qsize())
             try:
                 self._run_job(job_id)
             except Exception:
@@ -197,9 +239,7 @@ class JobQueue:
                 # catch-all keeps the worker alive even if bookkeeping
                 # itself blows up (e.g. an unserializable result).
                 try:
-                    self.store.finish(
-                        job_id, "failed", error=traceback.format_exc()
-                    )
+                    self._finish_job(job_id, "failed", error=traceback.format_exc())
                 except Exception:
                     pass
             finally:
@@ -240,6 +280,19 @@ class JobQueue:
             )
         return job.executor, None
 
+    def _finish_job(self, job_id: str, status: str, **fields: Any) -> Job:
+        """Finish a job through the store, counting the transition once.
+
+        ``JobStore.finish`` is idempotent, so the metric increments only
+        when this call actually moved the job to a terminal status.
+        """
+
+        was_done = self.store.get(job_id).done
+        job = self.store.finish(job_id, status, **fields)
+        if job.done and not was_done:
+            _JOBS_FINISHED.inc(status=job.status)
+        return job
+
     def _run_job(self, job_id: str) -> None:
         # Atomic claim: returns None if the job reached a terminal state
         # while queued (e.g. cancelled), so a cancel racing this worker
@@ -252,35 +305,49 @@ class JobQueue:
         except PlanError as error:
             # Submissions are validated, but a store written by a newer
             # build may hold plans this build cannot parse.
-            self.store.finish(job_id, "failed", error=f"invalid stored plan: {error}")
+            self._finish_job(job_id, "failed", error=f"invalid stored plan: {error}")
             return
-        session = Session(store=self.profile_store, seed=job.seed)
+        # One tracer per job: its root "job" span adopts the submitter's
+        # X-Repro-Trace context (when one was sent) and parents every
+        # executor wave/step span — and, through lease stamping, every
+        # fleet worker's measurement span.
+        tracer = Tracer(writer=self.trace_writer)
+        session = Session(store=self.profile_store, seed=job.seed, tracer=tracer)
         executor, cleanup = self._build_executor(job)
         try:
-            # Dependency-scheduled order: a valid topological order whose
-            # wavefront structure matches what the executors use, so the
-            # event stream reflects when a step *could* start.
-            for step in scheduled_order(plan):
-                if self.store.get(job_id).cancel_requested:
-                    self.store.finish(
-                        job_id, "cancelled", simulations=session.simulation_count()
+            with tracer.adopt(SpanContext.parse(job.trace)):
+                with tracer.span("job", job=job_id, executor=job.executor, seed=job.seed):
+                    # Dependency-scheduled order: a valid topological order
+                    # whose wavefront structure matches what the executors
+                    # use, so the event stream reflects when a step *could*
+                    # start.
+                    for step in scheduled_order(plan):
+                        if self.store.get(job_id).cancel_requested:
+                            self._finish_job(
+                                job_id,
+                                "cancelled",
+                                simulations=session.simulation_count(),
+                            )
+                            return
+                        status, result, error = self._run_step(
+                            session, job, step, executor
+                        )
+                        if status == "cancelled":
+                            self._finish_job(
+                                job_id,
+                                "cancelled",
+                                simulations=session.simulation_count(),
+                            )
+                            return
+                        if status == "failed":
+                            self._finish_job(
+                                job_id, "failed", error=error,
+                                simulations=session.simulation_count(),
+                            )
+                            return
+                    self._finish_job(
+                        job_id, "succeeded", simulations=session.simulation_count()
                     )
-                    return
-                status, result, error = self._run_step(session, job, step, executor)
-                if status == "cancelled":
-                    self.store.finish(
-                        job_id, "cancelled", simulations=session.simulation_count()
-                    )
-                    return
-                if status == "failed":
-                    self.store.finish(
-                        job_id, "failed", error=error,
-                        simulations=session.simulation_count(),
-                    )
-                    return
-            self.store.finish(
-                job_id, "succeeded", simulations=session.simulation_count()
-            )
         finally:
             if cleanup is not None:
                 cleanup()
@@ -310,6 +377,7 @@ class JobQueue:
             self.store.mark_step_finished(
                 job.id, step.id, "skipped", duration_ms=duration_ms
             )
+            _JOB_STEPS.inc(status="skipped")
             return "cancelled", None, None
         except Exception:
             error = traceback.format_exc()
@@ -317,11 +385,13 @@ class JobQueue:
             self.store.mark_step_finished(
                 job.id, step.id, "failed", error=error, duration_ms=duration_ms
             )
+            _JOB_STEPS.inc(status="failed")
             return "failed", None, error
         duration_ms = (time.monotonic() - started) * 1000.0
         self.store.mark_step_finished(
             job.id, step.id, "succeeded", result=payload, duration_ms=duration_ms
         )
+        _JOB_STEPS.inc(status="succeeded")
         return "succeeded", payload, None
 
     # ------------------------------------------------------------------

@@ -16,6 +16,8 @@ and exposes the versioned API::
     POST /v1/leases/{id}/heartbeat keep a lease alive     -> 200
     POST /v1/leases/{id}/complete  post measurements back -> 200
     GET  /v1/fleet                 lease + worker status  -> 200
+    GET  /v1/metrics               Prometheus text format -> 200
+    GET  /v1/metrics.json          same snapshot, as JSON -> 200
 
 ``POST /v1/plans`` accepts either a bare serialized
 :class:`~repro.api.plan.Plan` payload or an envelope
@@ -59,6 +61,8 @@ from .fleet.leases import (
     StaleLeaseError,
     UnknownLeaseError,
 )
+from ..obs.metrics import default_registry
+from ..obs.trace import TRACE_HEADER
 from .jobs import JOB_VERSION, JobStore, UnknownJobError
 from .queue import JobQueue, QueueClosedError
 
@@ -178,6 +182,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return self._post_cancel(rest[1])
             if method == "GET" and rest == ["fleet"]:
                 return self._get_fleet()
+            if method == "GET" and rest == ["metrics"]:
+                return self._get_metrics()
+            if method == "GET" and rest == ["metrics.json"]:
+                return self._get_metrics_json()
             if method == "POST" and rest == ["workers", "register"]:
                 return self._post_worker_register()
             if method == "POST" and rest == ["leases", "claim"]:
@@ -231,6 +239,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 executor=options.get("executor"),
                 jobs=options.get("jobs"),
                 seed=options.get("seed", 0),
+                trace=self.headers.get(TRACE_HEADER),
             )
         except (PlanError, ValueError) as error:
             raise _ApiError(400, str(error)) from error
@@ -241,6 +250,17 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except QueueClosedError as error:
             raise _ApiError(503, str(error)) from error
         self._send_json(self._store.snapshot(job.id), status=202)
+
+    def _get_metrics(self) -> None:
+        body = default_registry().render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _get_metrics_json(self) -> None:
+        self._send_json(default_registry().snapshot())
 
     def _get_jobs(self) -> None:
         self._send_json({"jobs": self._store.summaries()})
@@ -400,6 +420,7 @@ class ReproServer:
         verbose: bool = False,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         events_keepalive_seconds: float = DEFAULT_EVENTS_KEEPALIVE_SECONDS,
+        trace: Union[str, Path, None] = None,
     ) -> None:
         if job_store is None and profile_store is not None:
             # Persist jobs next to the profile store by default, so one
@@ -421,6 +442,7 @@ class ReproServer:
                 jobs=jobs,
                 workers=workers,
                 lease_ttl=lease_ttl,
+                trace=trace,
             )
         except BaseException:
             self._http.server_close()
@@ -498,6 +520,7 @@ def serve(
     workers: int = 1,
     verbose: bool = False,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    trace: Union[str, Path, None] = None,
 ) -> ReproServer:
     """Build and start a :class:`ReproServer` (the ``serve`` CLI backend)."""
 
@@ -510,6 +533,7 @@ def serve(
         workers=workers,
         verbose=verbose,
         lease_ttl=lease_ttl,
+        trace=trace,
     ).start()
 
 

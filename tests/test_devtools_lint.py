@@ -260,6 +260,43 @@ class TestNondeterminism:
         """)
         assert run_lint([path], select=["RL002"]) == []
 
+    def test_monotonic_clocks_fire_in_measurement_packages(self, tmp_path):
+        path = write_module(tmp_path, "repro/gpusim/timer.py", """
+            import time
+
+            def tick():
+                return time.monotonic(), time.perf_counter()
+        """)
+        findings = run_lint([path], select=["RL002"])
+        assert codes(findings) == ["RL002", "RL002"]
+        assert "monotonic-clock read" in findings[0].message
+
+    def test_obs_package_is_exempt_from_clock_reads_only(self, tmp_path):
+        # repro/obs is the one sanctioned home for clock reads...
+        path = write_module(tmp_path, "repro/obs/spans.py", """
+            import time
+
+            def tick():
+                return time.monotonic(), time.time()
+        """)
+        assert run_lint([path], select=["RL002"]) == []
+        # ...but every other RL002 rule still applies there.
+        path = write_module(tmp_path, "repro/obs/ids.py", """
+            import uuid
+
+            def fresh():
+                return uuid.uuid4().hex
+        """)
+        findings = run_lint([path], select=["RL002"])
+        assert codes(findings) == ["RL002"]
+        assert "uuid" in findings[0].message
+
+    def test_repo_obs_sources_pass_the_linter(self):
+        # Self-check: the shipped observability package must satisfy the
+        # very rule that names it as the sanctioned clock home.
+        obs_dir = REPO_ROOT / "src" / "repro" / "obs"
+        assert run_lint([obs_dir], select=["RL002"]) == []
+
 
 # ----------------------------------------------------------------------
 # RL003 deprecated-shim usage

@@ -1,0 +1,193 @@
+"""Unit tests for repro.obs.metrics: registry semantics and thread safety.
+
+The registry is the backbone of ``/v1/metrics``: declarations must be
+idempotent (module-level handles converge on one series), snapshots must
+be deterministic (sorted names, sorted label tuples, fixed buckets) and
+concurrent increments must never be lost — the hammer test proves the
+read-modify-write is actually serialized.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestDeclarations:
+    def test_idempotent_redeclaration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.")
+        second = registry.counter("hits_total", "Hits.")
+        assert first is second
+
+    def test_shape_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        with pytest.raises(MetricsError):
+            registry.gauge("hits_total")
+        with pytest.raises(MetricsError):
+            registry.counter("hits_total", labelnames=("status",))
+        registry.histogram("latency", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError):
+            registry.histogram("latency", buckets=(1.0, 2.0, 4.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.counter("0bad")
+        with pytest.raises(MetricsError):
+            registry.counter("ok", labelnames=("bad-label",))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", labelnames=("le",))
+        with pytest.raises(MetricsError):
+            registry.histogram("h", buckets=())
+        with pytest.raises(MetricsError):
+            registry.histogram("h", buckets=(2.0, 1.0))
+
+    def test_default_registry_is_process_wide(self):
+        assert default_registry() is default_registry()
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates_per_label_series(self):
+        counter = Counter("steps_total", labelnames=("backend",))
+        counter.inc(backend="serial")
+        counter.inc(2, backend="serial")
+        counter.inc(backend="process")
+        assert counter.value(backend="serial") == 3
+        assert counter.value(backend="process") == 1
+        assert counter.value(backend="remote") == 0
+
+    def test_counter_rejects_negative_and_wrong_labels(self):
+        counter = Counter("steps_total", labelnames=("backend",))
+        with pytest.raises(MetricsError):
+            counter.inc(-1, backend="serial")
+        with pytest.raises(MetricsError):
+            counter.inc()
+        with pytest.raises(MetricsError):
+            counter.inc(backend="serial", extra="nope")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_bound_series_share_state(self):
+        counter = Counter("hits_total", labelnames=("kind",))
+        bound = counter.labels(kind="sweep")
+        bound.inc()
+        bound.inc(4)
+        assert counter.value(kind="sweep") == 5
+
+
+class TestHistogram:
+    def test_bucketing_and_payload(self):
+        histogram = Histogram("width", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            histogram.observe(value)
+        (series,) = histogram.snapshot_series()
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(104.5)
+        # Cumulative counts per le-edge; 1.0 lands in the le=1.0 bucket.
+        assert series["buckets"] == [["1.0", 2], ["2.0", 2], ["4.0", 3], ["+Inf", 4]]
+
+    def test_quantiles_interpolate_and_clamp(self):
+        histogram = Histogram("wait", buckets=(1.0, 2.0, 4.0))
+        assert histogram.quantile(0.5) is None
+        for _ in range(4):
+            histogram.observe(1.5)  # le=2.0 bucket
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+        histogram.observe(1000.0)  # +Inf bucket clamps to the last edge
+        assert histogram.quantile(1.0) == 4.0
+        with pytest.raises(MetricsError):
+            histogram.quantile(1.5)
+
+    def test_count_buckets_cover_powers_of_two(self):
+        assert COUNT_BUCKETS[0] == 1.0
+        assert all(b == 2 * a for a, b in zip(COUNT_BUCKETS, COUNT_BUCKETS[1:]))
+
+
+class TestRendering:
+    def build(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total", "Hits.", labelnames=("kind",))
+        counter.inc(3, kind="sweep")
+        histogram = registry.histogram("repro_wait_seconds", "Waits.", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        registry.gauge("repro_depth", "Depth.").set(7)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self.build().render_prometheus()
+        assert "# HELP repro_hits_total Hits.\n" in text
+        assert "# TYPE repro_hits_total counter\n" in text
+        assert 'repro_hits_total{kind="sweep"} 3\n' in text
+        assert 'repro_wait_seconds_bucket{le="1"} 1\n' in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1\n' in text
+        assert "repro_wait_seconds_sum 0.5\n" in text
+        assert "repro_wait_seconds_count 1\n" in text
+        assert "repro_depth 7\n" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = self.build()
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        # A snapshot must survive a JSON round trip unchanged.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert json.loads(registry.render_json()) == snapshot
+        assert snapshot["repro_hits_total"]["type"] == "counter"
+        assert snapshot["repro_wait_seconds"]["buckets"] == [1.0, 2.0]
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().snapshot() == {}
+
+
+class TestConcurrency:
+    def test_hammer_loses_no_increments(self):
+        """N threads x M increments land exactly N*M on every family."""
+
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", labelnames=("lane",))
+        plain = registry.counter("hammer_plain_total")
+        gauge = registry.gauge("hammer_gauge")
+        histogram = registry.histogram("hammer_hist", buckets=(0.5, 1.5))
+        threads_n, per_thread = 16, 2000
+
+        def pound(lane: str) -> None:
+            bound = counter.labels(lane=lane)
+            for _ in range(per_thread):
+                bound.inc()
+                plain.inc()
+                gauge.inc()
+                histogram.observe(1.0)
+
+        threads = [
+            threading.Thread(target=pound, args=(f"lane-{index % 4}",))
+            for index in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = threads_n * per_thread
+        assert sum(entry["value"] for entry in counter.snapshot_series()) == total
+        assert plain.value() == total
+        assert gauge.value() == total
+        (series,) = histogram.snapshot_series()
+        assert series["count"] == total
+        assert series["buckets"][-1] == ["+Inf", total]

@@ -1,0 +1,155 @@
+"""Unit tests for repro.obs.trace: spans, contexts, adoption, the writer.
+
+Tracing is the cross-process half of the observability layer: these
+tests pin the header round trip (``X-Repro-Trace``), parent/child
+stitching through the thread-local stack, adoption of foreign contexts,
+error status capture and the JSONL writer's line format.
+"""
+
+import json
+import threading
+
+from repro.obs.trace import TRACE_HEADER, Span, SpanContext, TraceWriter, Tracer
+
+
+class TestSpanContext:
+    def test_header_round_trip(self):
+        context = SpanContext(trace_id="ab12cd34", span_id="ef56ab78")
+        assert context.to_header() == "ab12cd34/ef56ab78"
+        assert SpanContext.parse(context.to_header()) == context
+
+    def test_parse_rejects_garbage(self):
+        for bad in (None, "", "no-slash", "a/b/c", "UPPER/case", "zz!!/1234", 42):
+            assert SpanContext.parse(bad) is None
+
+    def test_header_name(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestTracer:
+    def test_root_span_has_fresh_trace_and_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            assert span.parent_id is None
+            assert span.trace_id and span.span_id
+            assert tracer.current_context() == span.context
+        assert tracer.current_context() is None
+
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert inner.span_id != outer.span_id
+
+    def test_adopt_makes_context_the_parent(self):
+        tracer = Tracer()
+        foreign = SpanContext(trace_id="feedbeef12345678", span_id="abcd1234")
+        with tracer.adopt(foreign):
+            assert tracer.current_context() == foreign
+            with tracer.span("child") as child:
+                assert child.trace_id == foreign.trace_id
+                assert child.parent_id == foreign.span_id
+        assert tracer.current_context() is None
+
+    def test_adopt_none_is_a_no_op(self):
+        tracer = Tracer()
+        with tracer.adopt(None):
+            with tracer.span("child") as child:
+                assert child.parent_id is None
+
+    def test_stack_is_thread_local(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["context"] = tracer.current_context()
+            with tracer.span("thread-span") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The helper thread saw neither the main thread's open span...
+        assert seen["context"] is None
+        # ...nor inherited it as a parent.
+        assert seen["parent"] is None
+
+    def test_error_sets_status_and_reraises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "trace.jsonl")
+        tracer = Tracer(writer=writer)
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the span must re-raise
+            raise AssertionError("span swallowed the exception")
+        (line,) = (tmp_path / "trace.jsonl").read_text().splitlines()
+        record = json.loads(line)
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_durations_are_monotonic_and_finished(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            assert span.duration_ms is None
+        assert span.duration_ms is not None
+        assert span.duration_ms >= 0.0
+
+
+class TestTraceWriter:
+    def test_jsonl_lines_and_written_count(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+        tracer = Tracer(writer=writer)
+        with tracer.span("a", step="s1"):
+            with tracer.span("b"):
+                pass
+        assert writer.written == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        # Children finish (and are written) before their parents.
+        assert [record["name"] for record in lines] == ["b", "a"]
+        child, parent = lines
+        assert child["trace"] == parent["trace"]
+        assert child["parent"] == parent["span"]
+        assert "parent" not in parent
+        assert parent["attrs"] == {"step": "s1"}
+        for record in lines:
+            assert record["status"] == "ok"
+            assert record["duration_ms"] >= 0.0
+
+    def test_concurrent_writers_interleave_whole_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path)
+
+        def spam(index: int) -> None:
+            tracer = Tracer(writer=writer)
+            for _ in range(50):
+                with tracer.span(f"spam-{index}"):
+                    pass
+
+        threads = [threading.Thread(target=spam, args=(index,)) for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 8 * 50 == writer.written
+        for line in lines:
+            json.loads(line)  # every line is one complete JSON object
+
+
+class TestSpanPayload:
+    def test_to_dict_shape(self):
+        span = Span("op", trace_id="ab12ab12", parent_id=None, attrs={"k": 1})
+        span.finish()
+        payload = span.to_dict()
+        assert payload["name"] == "op"
+        assert payload["trace"] == "ab12ab12"
+        assert payload["span"]
+        assert payload["status"] == "ok"
+        assert payload["attrs"] == {"k": 1}
+        assert "parent" not in payload
