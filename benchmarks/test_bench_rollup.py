@@ -1,0 +1,56 @@
+"""Fleet metrics rollup: merge cost across pushed worker snapshots.
+
+``GET /v1/metrics/fleet`` re-merges every worker's last snapshot on
+each scrape (the store keeps raw per-worker parts so staleness eviction
+stays trivial), which makes :func:`merge_snapshots` the endpoint's hot
+path.  This benchmark builds a fleet of worker snapshots with realistic
+shape — counters with label series, a gauge, a bucketed histogram with
+exemplars — and times one full fleet merge, reporting merges-per-second
+and the series count in ``extra_info``.
+
+Smoke runs (``--benchmark-disable``) scale down to 4 workers and check
+only that the merge preserves the fleet-wide counter total.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rollup import label_snapshot, merge_snapshots
+
+
+def _worker_snapshot(index: int) -> dict:
+    """One worker's registry snapshot with counter/gauge/histogram load."""
+
+    registry = MetricsRegistry()
+    completed = registry.counter(
+        "repro_fleet_worker_completed_total", "Completed.", labelnames=("kind",)
+    )
+    for kind in ("sweep", "prune", "compare"):
+        completed.inc(index + 1, kind=kind)
+    registry.gauge("repro_worker_busy", "Busy.").set(index % 2)
+    wait = registry.histogram(
+        "repro_worker_measure_seconds", "Measure wall time.",
+        buckets=(0.01, 0.1, 1.0, 10.0),
+    )
+    for step in range(20):
+        wait.observe(0.005 * (index + step), exemplar=f"trace-{index:04x}")
+    return label_snapshot(registry.snapshot(), worker=f"bench-worker-{index}")
+
+
+def test_fleet_merge_throughput(benchmark):
+    """Merge a whole fleet's snapshots, as one /v1/metrics/fleet scrape does."""
+
+    n_workers = 4 if benchmark.disabled else 64
+    parts = [_worker_snapshot(index) for index in range(n_workers)]
+
+    merged = benchmark(merge_snapshots, parts)
+
+    series = merged["repro_fleet_worker_completed_total"]["series"]
+    total = sum(entry["value"] for entry in series)
+    # Worker-labeled series are disjoint: nothing may be lost or doubled.
+    assert total == sum(3 * (index + 1) for index in range(n_workers))
+    assert len(series) == 3 * n_workers
+    histogram = merged["repro_worker_measure_seconds"]["series"]
+    assert sum(entry["count"] for entry in histogram) == 20 * n_workers
+    benchmark.extra_info["workers"] = n_workers
+    benchmark.extra_info["series_merged"] = sum(
+        len(family["series"]) for family in merged.values()
+    )

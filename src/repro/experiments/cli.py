@@ -12,7 +12,11 @@ Usage::
     python -m repro.experiments serve --port 8765 --profile-store profiles.jsonl
     python -m repro.experiments submit plan.json --url http://127.0.0.1:8765 --watch
     python -m repro.experiments worker --url http://127.0.0.1:8765
+    python -m repro.experiments serve --executor remote --autoscale 0:4
     python -m repro.experiments metrics --url http://127.0.0.1:8765
+    python -m repro.experiments metrics --grep 'repro_lease' --fleet
+    python -m repro.experiments trace ls --file trace.jsonl
+    python -m repro.experiments trace show TRACE_ID --file trace.jsonl
     python -m repro.experiments store stats profiles.jsonl
     python -m repro.experiments store compact profiles.jsonl
     python -m repro.experiments lint src tests --format json
@@ -75,6 +79,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiment identifiers (e.g. fig14 table1), 'all', 'list', "
             "'targets', 'run-plan PLAN.json [...]', 'serve', "
             "'submit PLAN.json', 'worker', 'metrics', "
+            "'trace {ls|show TRACE_ID}', "
             "'store {compact|stats} PATH', or 'lint [PATHS]'"
         ),
     )
@@ -83,7 +88,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="coarsen channel sweeps and reduce repetitions for a quick run",
     )
-    parser.add_argument("--json", metavar="PATH", help="also write results as JSON")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write results as JSON to PATH ('-' or no value: stdout; "
+            "metrics/trace: emit the JSON form instead of text)"
+        ),
+    )
     parser.add_argument(
         "--profile-store",
         metavar="PATH",
@@ -159,6 +174,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--watch",
         action="store_true",
         help="submit: stream the job's events and wait for its result",
+    )
+    parser.add_argument(
+        "--autoscale",
+        default=None,
+        metavar="MIN:MAX",
+        help=(
+            "serve: run the fleet autoscaler — spawn/retire in-process "
+            "fleet workers (between MIN and MAX of them, e.g. 0:4) to "
+            "keep the pending-lease backlog near zero"
+        ),
+    )
+    parser.add_argument(
+        "--grep",
+        default=None,
+        metavar="PATTERN",
+        help=(
+            "metrics: keep only metric families/series whose name or "
+            "labels match this regular expression"
+        ),
+    )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "metrics: scrape the merged fleet rollup "
+            "(GET /v1/metrics/fleet) instead of the server's own registry"
+        ),
+    )
+    parser.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="trace: the span JSONL file written via --trace",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trace show: a saved metrics snapshot (from 'metrics --json') "
+            "to cross-reference histogram exemplars pointing at the trace"
+        ),
     )
     parser.add_argument(
         "--lease-ttl",
@@ -379,9 +436,7 @@ def run_plan_command(plan_paths: List[str], args: argparse.Namespace) -> int:
     if args.trace:
         print(f"wrote {tracer.writer.written} span(s) to {args.trace}")
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payloads, handle, indent=2)
-        print(f"wrote {args.json}")
+        _emit_json(payloads, args.json)
     return 0
 
 
@@ -395,9 +450,13 @@ def serve_command(args: argparse.Namespace) -> int:
     from ..api.registry import UnknownPluginError
     from ..service.server import ReproServer
 
+    from ..service.fleet.autoscale import AutoscaleError, parse_autoscale
     from ..service.fleet.leases import DEFAULT_LEASE_TTL, LeaseError
 
     try:
+        autoscale = (
+            parse_autoscale(args.autoscale) if args.autoscale is not None else None
+        )
         server = ReproServer(
             host=args.host,
             port=args.port,
@@ -408,8 +467,9 @@ def serve_command(args: argparse.Namespace) -> int:
             verbose=True,
             lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
             trace=args.trace or None,
+            autoscale=autoscale,
         )
-    except (OSError, ValueError, UnknownPluginError, LeaseError) as error:
+    except (OSError, ValueError, UnknownPluginError, LeaseError, AutoscaleError) as error:
         detail = error.args[0] if error.args else error
         print(f"cannot start service: {detail}", file=sys.stderr)
         return 2
@@ -422,6 +482,12 @@ def serve_command(args: argparse.Namespace) -> int:
     )
     if args.trace:
         print(f"tracing job spans to {args.trace}", flush=True)
+    if autoscale is not None:
+        print(
+            f"autoscaling fleet workers between {autoscale[0]} and {autoscale[1]}",
+            flush=True,
+        )
+    _install_interrupt_handlers()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -429,6 +495,28 @@ def serve_command(args: argparse.Namespace) -> int:
     finally:
         server.close()
     return 0
+
+
+def _install_interrupt_handlers() -> None:
+    """Make ``kill -INT``/``kill -TERM`` interrupt the serving loop.
+
+    Backgrounded children of non-interactive shells (``serve ... &`` in
+    a CI script) inherit SIGINT as *ignored*, and Python honours the
+    inherited disposition — ``kill -INT`` would be a silent no-op and
+    the shutdown steps would time out.  Re-installing the handler here
+    restores Ctrl-C semantics regardless of how we were launched.
+    """
+
+    import signal
+
+    def _interrupt(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGINT, _interrupt)
+        signal.signal(signal.SIGTERM, _interrupt)
+    except (ValueError, OSError):  # not the main thread (tests) / exotic platform
+        pass
 
 
 def submit_command(plan_paths: List[str], args: argparse.Namespace) -> int:
@@ -490,6 +578,7 @@ def worker_command(args: argparse.Namespace) -> int:
     from ..service.client import ServiceError
     from ..service.fleet.worker import run_worker
 
+    _install_interrupt_handlers()
     try:
         completed = run_worker(
             args.url,
@@ -511,17 +600,129 @@ def worker_command(args: argparse.Namespace) -> int:
 
 
 def metrics_command(args: argparse.Namespace) -> int:
-    """Scrape a running service's metrics (Prometheus text format)."""
+    """Scrape a running service's metrics (Prometheus text format).
 
+    The plain verb is a raw passthrough of ``GET /v1/metrics`` (CI
+    diffs it byte-for-byte against curl).  ``--fleet`` scrapes the
+    merged rollup instead; ``--grep`` filters families/series through
+    :func:`repro.obs.rollup.filter_snapshot`; ``--json`` emits the
+    snapshot's JSON wire form (to stdout, or to a path).
+    """
+
+    import re
+
+    from ..obs.rollup import filter_snapshot, render_snapshot_prometheus
     from ..service.client import ServiceClient, ServiceError
 
     client = ServiceClient(args.url)
     try:
-        text = client.metrics_text()
+        if args.grep is None and args.json is None:
+            # Raw text passthrough: must stay byte-identical to curl.
+            text = (
+                client.fleet_metrics_text() if args.fleet else client.metrics_text()
+            )
+            print(text, end="" if text.endswith("\n") else "\n")
+            return 0
+        snapshot = client.fleet_metrics() if args.fleet else client.metrics()
     except ServiceError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.grep is not None:
+        try:
+            snapshot = filter_snapshot(snapshot, args.grep)
+        except re.error as error:
+            print(f"bad --grep pattern: {error}", file=sys.stderr)
+            return 2
+    if args.json is not None:
+        return _emit_json(snapshot, args.json)
+    text = render_snapshot_prometheus(snapshot)
     print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _emit_json(payload: Any, target: str) -> int:
+    """Write ``payload`` as JSON to a path, or stdout for ``-``."""
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if target == "-":
+        print(text)
+    else:
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {target}")
+    return 0
+
+
+def trace_command(rest: List[str], args: argparse.Namespace) -> int:
+    """Inspect a span trace file: ``trace ls`` / ``trace show TRACE_ID``.
+
+    ``trace ls --file X`` summarizes every trace in the JSONL (newest
+    first); ``trace show TRACE_ID --file X`` stitches that trace's spans
+    — across every process that shared the file — into an indented
+    timing tree, optionally cross-referencing a saved metrics snapshot
+    (``--metrics-json``) for histogram exemplars pointing at the trace.
+    """
+
+    from ..obs.traceview import (
+        TraceViewError,
+        list_traces,
+        load_spans,
+        render_trace,
+    )
+
+    if not rest or rest[0] not in ("ls", "show"):
+        print("usage: repro-experiments trace {ls|show TRACE_ID} --file PATH",
+              file=sys.stderr)
+        return 2
+    if args.file is None:
+        print("trace needs --file PATH (the JSONL written via --trace)",
+              file=sys.stderr)
+        return 2
+    try:
+        spans = load_spans(args.file)
+    except TraceViewError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if rest[0] == "ls":
+        if len(rest) != 1:
+            print("usage: repro-experiments trace ls --file PATH", file=sys.stderr)
+            return 2
+        summaries = list_traces(spans)
+        if args.json is not None:
+            return _emit_json(summaries, args.json)
+        if not summaries:
+            print(f"no spans in {args.file}")
+            return 0
+        print(f"{'TRACE':<34} {'SPANS':>5} {'ERRORS':>6} {'DURATION':>10}  ROOT")
+        for row in summaries:
+            print(
+                f"{row['trace']:<34} {row['spans']:>5} {row['errors']:>6} "
+                f"{row['duration_ms']:>8.1f}ms  {row['root']}"
+            )
+        return 0
+
+    if len(rest) != 2:
+        print("usage: repro-experiments trace show TRACE_ID --file PATH",
+              file=sys.stderr)
+        return 2
+    snapshot = None
+    if args.metrics_json is not None:
+        path = Path(args.metrics_json)
+        if not path.exists():
+            print(f"metrics snapshot not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError as error:
+            print(f"invalid metrics snapshot {path}: {error}", file=sys.stderr)
+            return 2
+    try:
+        rendered = render_trace(spans, rest[1], snapshot=snapshot)
+    except TraceViewError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
     return 0
 
 
@@ -585,6 +786,8 @@ def main(argv: List[str] | None = None) -> int:
         return worker_command(args)
     if first == "metrics":
         return metrics_command(args)
+    if first == "trace":
+        return trace_command(args.experiments[1:], args)
     if first == "store":
         return store_command(args.experiments[1:], args)
     if first == "lint":
@@ -647,9 +850,7 @@ def main(argv: List[str] | None = None) -> int:
             }
             for result in results
         ]
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"wrote {args.json}")
+        _emit_json(payload, args.json)
     return 0
 
 

@@ -1,7 +1,7 @@
 """``repro.obs`` — observability: metrics, span tracing, scrape surface.
 
 The reproduction measures a measurement system; this package measures
-the reproduction itself.  Two halves:
+the reproduction itself.  Four parts:
 
 ``metrics``
     A thread-safe :class:`MetricsRegistry` of :class:`Counter` /
@@ -10,11 +10,22 @@ the reproduction itself.  Two halves:
     Instrumented modules declare handles against
     :func:`default_registry` at import time; the server exposes it at
     ``GET /v1/metrics`` (text) and ``GET /v1/metrics.json``.
+    Histograms attach bounded per-bucket *exemplars* — the trace id of
+    the recorded span open at observation time — rendered as
+    OpenMetrics ``# {trace_id="..."}`` suffixes.
 ``trace``
     Span tracing (:class:`Tracer`, :class:`Span`, :class:`SpanContext`)
     with monotonic durations, a flock-safe JSONL :class:`TraceWriter`
     and ``X-Repro-Trace`` header propagation so a fleet worker's
     measurement spans stitch under the submitting job's trace.
+``rollup``
+    Fleet-wide aggregation over snapshot wire forms:
+    :func:`merge_snapshots` (counters sum, histograms add, gauges
+    last-write-wins) and :class:`RollupStore`, the server-side
+    per-worker snapshot registry behind ``GET /v1/metrics/fleet``.
+``traceview``
+    Offline reconstruction of span trees from TraceWriter JSONL —
+    the ``trace ls`` / ``trace show`` verbs.
 
 Everything here is *inert* by contract: no metric or span may perturb
 the splitmix64 noise stream, and traced plan execution is bitwise
@@ -24,6 +35,7 @@ only place the RL002 linter permits wall/monotonic clock reads.
 
 from .metrics import (
     COUNT_BUCKETS,
+    DEFAULT_EXEMPLARS_PER_BUCKET,
     DEFAULT_TIME_BUCKETS_S,
     Counter,
     Gauge,
@@ -32,20 +44,61 @@ from .metrics import (
     MetricsRegistry,
     default_registry,
 )
-from .trace import TRACE_HEADER, Span, SpanContext, TraceWriter, Tracer
+from .rollup import (
+    RollupError,
+    RollupStore,
+    WORKER_LABEL,
+    filter_snapshot,
+    label_snapshot,
+    merge_snapshots,
+    render_snapshot_prometheus,
+)
+from .trace import (
+    TRACE_HEADER,
+    Span,
+    SpanContext,
+    TraceWriter,
+    Tracer,
+    current_trace_id,
+)
+from .traceview import (
+    TraceViewError,
+    build_tree,
+    exemplar_references,
+    list_traces,
+    load_spans,
+    render_trace,
+    render_tree,
+)
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEFAULT_EXEMPLARS_PER_BUCKET",
     "DEFAULT_TIME_BUCKETS_S",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsError",
     "MetricsRegistry",
+    "RollupError",
+    "RollupStore",
     "Span",
     "SpanContext",
     "TRACE_HEADER",
+    "TraceViewError",
     "TraceWriter",
     "Tracer",
+    "WORKER_LABEL",
+    "build_tree",
+    "current_trace_id",
     "default_registry",
+    "exemplar_references",
+    "filter_snapshot",
+    "label_snapshot",
+    "list_traces",
+    "load_spans",
+    "merge_snapshots",
+    "render_snapshot_prometheus",
+    "render_trace",
+    "render_tree",
 ]

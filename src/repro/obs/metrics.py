@@ -34,6 +34,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEFAULT_EXEMPLARS_PER_BUCKET",
     "DEFAULT_TIME_BUCKETS_S",
     "Counter",
     "Gauge",
@@ -62,6 +63,10 @@ DEFAULT_TIME_BUCKETS_S: Tuple[float, ...] = (
 COUNT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
 )
+
+#: Trace-id exemplars kept per histogram bucket (newest win).  Bounded
+#: so a long-lived serving process never grows a per-bucket log.
+DEFAULT_EXEMPLARS_PER_BUCKET = 2
 
 
 def _validate_metric_name(name: str) -> str:
@@ -238,22 +243,35 @@ class Gauge(_ScalarMetric):
 
 
 class _HistogramState:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, slots: int) -> None:
         self.bucket_counts = [0] * slots
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> newest-last [trace_id, value] pairs (bounded).
+        self.exemplars: Dict[int, List[List[object]]] = {}
 
 
 class Histogram(_Metric):
-    """Fixed-boundary distribution; boundaries are ``le`` upper bounds."""
+    """Fixed-boundary distribution; boundaries are ``le`` upper bounds.
+
+    Histograms optionally carry *exemplars*: each bucket remembers the
+    trace ids of the last few observations that landed in it, so a slow
+    bucket points at the exact trace to open with ``trace show``.  An
+    exemplar is taken from the explicit ``exemplar=`` argument or, when
+    absent, from the thread's innermost *recorded* span
+    (:func:`repro.obs.trace.current_trace_id`) — runs without a trace
+    writer therefore never record exemplars, keeping untraced snapshots
+    deterministic.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
                  labelnames: Sequence[str] = (),
-                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S) -> None:
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+                 exemplars: int = DEFAULT_EXEMPLARS_PER_BUCKET) -> None:
         super().__init__(name, help=help, labelnames=labelnames)
         boundaries = tuple(float(edge) for edge in buckets)
         if not boundaries:
@@ -263,11 +281,21 @@ class Histogram(_Metric):
                 f"histogram {name!r} buckets must be strictly increasing: "
                 f"{boundaries!r}"
             )
+        if exemplars < 0:
+            raise MetricsError(
+                f"histogram {name!r} exemplars bound must be >= 0, got {exemplars}"
+            )
         self.buckets = boundaries
+        self.exemplars_per_bucket = int(exemplars)
 
-    def observe(self, value: float, **labels: object) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None,
+                **labels: object) -> None:
+        if exemplar is None and self.exemplars_per_bucket:
+            from .trace import current_trace_id
+
+            exemplar = current_trace_id()
         with self._lock:
-            self._observe_locked(self._label_key(labels), value)
+            self._observe_locked(self._label_key(labels), value, exemplar)
 
     def labels(self, **labels: object) -> "_BoundHistogram":
         with self._lock:
@@ -297,18 +325,29 @@ class Histogram(_Metric):
                 lower = boundary
             return self.buckets[-1]
 
-    def _observe_locked(self, key: Tuple[str, ...], value: float) -> None:
+    def _observe_locked(self, key: Tuple[str, ...], value: float,
+                        exemplar: Optional[str] = None) -> None:
         number = float(value)
         state = self._series.get(key)
         if state is None:
             state = self._series[key] = _HistogramState(len(self.buckets) + 1)
-        state.bucket_counts[bisect.bisect_left(self.buckets, number)] += 1
+        index = bisect.bisect_left(self.buckets, number)
+        state.bucket_counts[index] += 1
         state.sum += number
         state.count += 1
+        if exemplar and self.exemplars_per_bucket:
+            kept = state.exemplars.setdefault(index, [])
+            kept.append([str(exemplar), number])
+            del kept[:-self.exemplars_per_bucket]
 
-    def _observe_key(self, key: Tuple[str, ...], value: float) -> None:
+    def _observe_key(self, key: Tuple[str, ...], value: float,
+                     exemplar: Optional[str] = None) -> None:
+        if exemplar is None and self.exemplars_per_bucket:
+            from .trace import current_trace_id
+
+            exemplar = current_trace_id()
         with self._lock:
-            self._observe_locked(key, value)
+            self._observe_locked(key, value, exemplar)
 
     def describe(self) -> dict:
         payload = super().describe()
@@ -323,16 +362,37 @@ class Histogram(_Metric):
         for edge, bucket_count in zip(edges, state.bucket_counts):
             cumulative += bucket_count
             rows.append([edge, cumulative])
-        return {"count": state.count, "sum": state.sum, "buckets": rows}
+        payload = {"count": state.count, "sum": state.sum, "buckets": rows}
+        if state.exemplars:
+            # [le-edge, trace_id, observed value], newest last per bucket;
+            # present only when tracing actually produced exemplars, so
+            # untraced snapshots keep their historical shape.
+            payload["exemplars"] = [
+                [edges[index], trace_id, value]
+                for index in sorted(state.exemplars)
+                for trace_id, value in state.exemplars[index]
+            ]
+        return payload
 
     def _render_series(self) -> List[str]:
         lines = []
         for entry in self.snapshot_series():
             key = tuple(entry["labels"][name] for name in self.labelnames)
+            newest = {
+                edge: (trace_id, value)
+                for edge, trace_id, value in entry.get("exemplars", [])
+            }
             for edge, cumulative in entry["buckets"]:
                 le = edge if edge == "+Inf" else _format_value(float(edge))
                 labels = _render_labels(self.labelnames, key, extra=("le", le))
-                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+                line = f"{self.name}_bucket{labels} {cumulative}"
+                if edge in newest:
+                    trace_id, value = newest[edge]
+                    line += (
+                        f' # {{trace_id="{_escape_label_value(trace_id)}"}}'
+                        f" {_format_value(value)}"
+                    )
+                lines.append(line)
             labels = _render_labels(self.labelnames, key)
             lines.append(f"{self.name}_sum{labels} {_format_value(entry['sum'])}")
             lines.append(f"{self.name}_count{labels} {entry['count']}")
@@ -370,8 +430,8 @@ class _BoundHistogram:
         self._metric = metric
         self._key = key
 
-    def observe(self, value: float) -> None:
-        self._metric._observe_key(self._key, value)
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        self._metric._observe_key(self._key, value, exemplar)
 
 
 class MetricsRegistry:
@@ -398,10 +458,12 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   labelnames: Sequence[str] = (),
-                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S) -> Histogram:
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+                  exemplars: int = DEFAULT_EXEMPLARS_PER_BUCKET) -> Histogram:
         with self._lock:
             return self._declare_locked(
-                Histogram, name, help, labelnames, buckets=tuple(buckets)
+                Histogram, name, help, labelnames,
+                buckets=tuple(buckets), exemplars=exemplars,
             )
 
     def get(self, name: str) -> Optional[_Metric]:
@@ -418,7 +480,10 @@ class MetricsRegistry:
             same = (
                 type(existing) is cls
                 and existing.labelnames == tuple(labelnames)
-                and (not extra or existing.buckets == tuple(extra["buckets"]))
+                and (
+                    "buckets" not in extra
+                    or existing.buckets == tuple(extra["buckets"])
+                )
             )
             if not same:
                 raise MetricsError(

@@ -1,0 +1,421 @@
+"""Fleet-wide metrics rollup: merge per-worker registry snapshots.
+
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` is process-local —
+a fleet worker's counters die with its process and the server cannot
+answer "what is the whole fleet doing".  This module closes that gap
+with plain functions over the snapshot *wire form* (the JSON-ready
+dicts ``snapshot()`` already returns) plus a server-side store:
+
+:func:`label_snapshot`
+    Stamp extra labels (``worker="ci-worker-1"``) onto every series of
+    a snapshot, so merged fleets keep per-worker attribution.
+:func:`merge_snapshots`
+    Fold N snapshots into one: **counters sum**, **histogram buckets
+    add** (bucket boundaries must agree), **gauges last-write-wins** in
+    argument order.  Worker-labeled snapshots have disjoint series, so
+    the fleet rollup is associative and commutative over worker order
+    (property-tested).
+:func:`render_snapshot_prometheus`
+    The Prometheus text exposition of a snapshot dict — byte-compatible
+    with :meth:`MetricsRegistry.render_prometheus`, including OpenMetrics
+    ``# {trace_id="..."}`` exemplar suffixes on histogram buckets.
+:func:`filter_snapshot`
+    Regex filter over family names and rendered series labels (the
+    ``metrics --grep`` backend).
+:class:`RollupStore`
+    Per-worker snapshot registry with last-write-wins pushes and
+    staleness eviction: a worker that stops pushing for ``ttl`` seconds
+    has its series dropped from the rollup.
+
+Like everything in ``repro.obs`` this is inert: rollups are built from
+snapshots on demand and never feed back into measurement.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .metrics import (
+    DEFAULT_EXEMPLARS_PER_BUCKET,
+    _escape_help,
+    _escape_label_value,
+    _format_value,
+)
+
+__all__ = [
+    "RollupError",
+    "RollupStore",
+    "WORKER_LABEL",
+    "filter_snapshot",
+    "label_snapshot",
+    "merge_snapshots",
+    "render_snapshot_prometheus",
+]
+
+#: The label the fleet rollup files every pushed series under.
+WORKER_LABEL = "worker"
+
+
+class RollupError(ValueError):
+    """Raised for malformed snapshots or incompatible merges."""
+
+
+# ----------------------------------------------------------------------
+# Wire-form helpers
+# ----------------------------------------------------------------------
+def validate_snapshot(snapshot: object) -> Mapping[str, dict]:
+    """Check the coarse shape of a pushed snapshot; raises :class:`RollupError`.
+
+    Validation is structural only (names map to family dicts whose
+    ``series`` are label+payload dicts) — the merge re-checks the parts
+    it actually combines, so an unknown extra field rides along benignly.
+    """
+
+    if not isinstance(snapshot, Mapping):
+        raise RollupError(f"a snapshot must be a JSON object, got {type(snapshot).__name__}")
+    for name, family in snapshot.items():
+        if not isinstance(name, str) or not isinstance(family, Mapping):
+            raise RollupError(f"snapshot family {name!r} is not an object")
+        series = family.get("series", [])
+        if not isinstance(series, Sequence) or isinstance(series, (str, bytes)):
+            raise RollupError(f"snapshot family {name!r} has no series list")
+        for entry in series:
+            if not isinstance(entry, Mapping) or not isinstance(entry.get("labels", {}), Mapping):
+                raise RollupError(f"snapshot family {name!r} has a malformed series entry")
+    return snapshot
+
+
+def _series_key(entry: Mapping) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in entry.get("labels", {}).items()))
+
+
+def _copy_entry(entry: Mapping) -> dict:
+    out: dict = {}
+    for key, value in entry.items():
+        if key == "labels":
+            out[key] = {str(k): str(v) for k, v in value.items()}
+        elif isinstance(value, list):
+            out[key] = [list(item) if isinstance(item, list) else item for item in value]
+        else:
+            out[key] = value
+    return out
+
+
+def label_snapshot(snapshot: Mapping[str, dict], **labels: object) -> Dict[str, dict]:
+    """A copy of ``snapshot`` with ``labels`` stamped onto every series.
+
+    Raises :class:`RollupError` when a family already uses one of the
+    label names (a worker must not spoof its own ``worker`` label).
+    """
+
+    stamped = {str(k): str(v) for k, v in labels.items()}
+    out: Dict[str, dict] = {}
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        labelnames = [str(label) for label in family.get("labelnames", [])]
+        for label in stamped:
+            if label in labelnames:
+                raise RollupError(
+                    f"metric {name!r} already carries the {label!r} label; "
+                    "refusing to overwrite it in the rollup"
+                )
+        copied = {key: value for key, value in family.items() if key != "series"}
+        copied["labelnames"] = labelnames + sorted(stamped)
+        copied["series"] = [
+            {**_copy_entry(entry), "labels": {**_copy_entry(entry)["labels"], **stamped}}
+            for entry in family.get("series", [])
+        ]
+        out[name] = copied
+    return out
+
+
+def merge_snapshots(snapshots: Sequence[Mapping[str, dict]]) -> Dict[str, dict]:
+    """Fold snapshots into one: counters sum, histograms add, gauges LWW.
+
+    Families are matched by name and must agree on type and (for
+    histograms) bucket boundaries; ``labelnames`` are unioned in
+    first-seen order.  Series are matched on their full label set:
+    colliding counter series sum, histogram series add bucket-wise
+    (``sum``/``count`` included, exemplars concatenated and re-bounded),
+    and colliding gauge series keep the **last** argument's value —
+    which is per-worker last-write-wins once snapshots are
+    worker-labeled, because cross-worker series never collide.
+    """
+
+    families: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        for name in sorted(snapshot):
+            family = snapshot[name]
+            kind = str(family.get("type", "untyped"))
+            buckets = list(family["buckets"]) if "buckets" in family else None
+            bucket = families.get(name)
+            if bucket is None:
+                bucket = families[name] = {
+                    "type": kind,
+                    "help": str(family.get("help", "")),
+                    "labelnames": [str(label) for label in family.get("labelnames", [])],
+                    "buckets": buckets,
+                    "series": {},
+                }
+            else:
+                if bucket["type"] != kind:
+                    raise RollupError(
+                        f"metric {name!r} merges conflicting types "
+                        f"{bucket['type']!r} and {kind!r}"
+                    )
+                if bucket["buckets"] != buckets:
+                    raise RollupError(
+                        f"histogram {name!r} merges conflicting bucket "
+                        f"boundaries {bucket['buckets']!r} and {buckets!r}"
+                    )
+                if not bucket["help"]:
+                    bucket["help"] = str(family.get("help", ""))
+                for label in family.get("labelnames", []):
+                    if str(label) not in bucket["labelnames"]:
+                        bucket["labelnames"].append(str(label))
+            for entry in family.get("series", []):
+                key = _series_key(entry)
+                existing = bucket["series"].get(key)
+                if existing is None:
+                    bucket["series"][key] = _copy_entry(entry)
+                else:
+                    _merge_entry(name, kind, existing, entry)
+    out: Dict[str, dict] = {}
+    for name in sorted(families):
+        bucket = families[name]
+        family = {
+            "type": bucket["type"],
+            "help": bucket["help"],
+            "labelnames": bucket["labelnames"],
+            "series": [bucket["series"][key] for key in sorted(bucket["series"])],
+        }
+        if bucket["buckets"] is not None:
+            family["buckets"] = bucket["buckets"]
+        out[name] = family
+    return out
+
+
+def _merge_entry(name: str, kind: str, into: dict, entry: Mapping) -> None:
+    if kind == "counter":
+        into["value"] = float(into.get("value", 0.0)) + float(entry.get("value", 0.0))
+        return
+    if kind == "gauge":
+        into["value"] = float(entry.get("value", 0.0))  # last write wins
+        return
+    if kind == "histogram":
+        ours, theirs = into.get("buckets", []), entry.get("buckets", [])
+        if [row[0] for row in ours] != [row[0] for row in theirs]:
+            raise RollupError(f"histogram {name!r} merges misaligned bucket rows")
+        into["buckets"] = [
+            [edge, int(cumulative) + int(other[1])]
+            for (edge, cumulative), other in zip(ours, theirs)
+        ]
+        into["sum"] = float(into.get("sum", 0.0)) + float(entry.get("sum", 0.0))
+        into["count"] = int(into.get("count", 0)) + int(entry.get("count", 0))
+        combined = list(into.get("exemplars", [])) + [
+            list(row) for row in entry.get("exemplars", [])
+        ]
+        if combined:
+            by_edge: Dict[str, List[list]] = {}
+            for row in combined:
+                by_edge.setdefault(str(row[0]), []).append(row)
+            into["exemplars"] = [
+                row
+                for edge in sorted(by_edge, key=_edge_sort_key)
+                for row in by_edge[edge][-DEFAULT_EXEMPLARS_PER_BUCKET:]
+            ]
+        return
+    # Unknown family kinds pass through last-write-wins.
+    into.clear()
+    into.update(_copy_entry(entry))
+
+
+def _edge_sort_key(edge: str) -> float:
+    return float("inf") if edge == "+Inf" else float(edge)
+
+
+# ----------------------------------------------------------------------
+# Rendering and filtering
+# ----------------------------------------------------------------------
+def _render_label_pairs(labelnames: Sequence[str], labels: Mapping[str, str],
+                        extra: Optional[tuple] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(labels[name]))}"'
+        for name in labelnames
+        if name in labels
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_snapshot_prometheus(snapshot: Mapping[str, dict]) -> str:
+    """Prometheus text exposition of a snapshot dict.
+
+    Byte-compatible with
+    :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus` for a
+    snapshot taken from a live registry, which is what lets the fleet
+    rollup endpoint and ``metrics --grep`` serve merged/filtered wire
+    forms in the exact format scrape jobs already parse.
+    """
+
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = str(family.get("type", "untyped"))
+        help_text = str(family.get("help", ""))
+        labelnames = [str(label) for label in family.get("labelnames", [])]
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family.get("series", []):
+            labels = entry.get("labels", {})
+            if kind == "histogram":
+                newest = {
+                    str(edge): (trace_id, value)
+                    for edge, trace_id, value in entry.get("exemplars", [])
+                }
+                for edge, cumulative in entry.get("buckets", []):
+                    le = edge if edge == "+Inf" else _format_value(float(edge))
+                    rendered = _render_label_pairs(labelnames, labels, extra=("le", le))
+                    line = f"{name}_bucket{rendered} {_format_value(cumulative)}"
+                    if edge in newest:
+                        trace_id, value = newest[edge]
+                        line += (
+                            f' # {{trace_id="{_escape_label_value(str(trace_id))}"}}'
+                            f" {_format_value(value)}"
+                        )
+                    lines.append(line)
+                rendered = _render_label_pairs(labelnames, labels)
+                lines.append(f"{name}_sum{rendered} {_format_value(entry.get('sum', 0.0))}")
+                lines.append(f"{name}_count{rendered} {_format_value(entry.get('count', 0))}")
+            else:
+                rendered = _render_label_pairs(labelnames, labels)
+                lines.append(f"{name}{rendered} {_format_value(entry.get('value', 0.0))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def filter_snapshot(snapshot: Mapping[str, dict], pattern: str) -> Dict[str, dict]:
+    """Families/series whose name or rendered labels match ``pattern``.
+
+    The regex is searched against the family name and against each
+    series rendered as ``name{label="value",...}``; a family whose name
+    matches keeps all its series, otherwise only matching series
+    survive and empty families are dropped.
+    """
+
+    matcher = re.compile(pattern)
+    out: Dict[str, dict] = {}
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        labelnames = [str(label) for label in family.get("labelnames", [])]
+        if matcher.search(name):
+            out[name] = family
+            continue
+        kept = [
+            entry
+            for entry in family.get("series", [])
+            if matcher.search(
+                f"{name}{_render_label_pairs(labelnames, entry.get('labels', {}))}"
+            )
+        ]
+        if kept:
+            out[name] = {**{k: v for k, v in family.items() if k != "series"}, "series": kept}
+    return out
+
+
+# ----------------------------------------------------------------------
+# The server-side store
+# ----------------------------------------------------------------------
+class RollupStore:
+    """Last-write-wins per-worker snapshots with staleness eviction.
+
+    One instance lives on the serving
+    :class:`~repro.service.queue.JobQueue` next to the lease manager.
+    Workers push their whole-registry snapshot with every heartbeat and
+    after every lease; :meth:`fleet_snapshot` merges the live ones under
+    the :data:`WORKER_LABEL` (optionally folding in the server's own
+    registry) for ``GET /v1/metrics/fleet``.
+
+    ``ttl`` bounds staleness: a worker silent longer than this has its
+    series evicted from the rollup, so a crashed worker's gauges cannot
+    pin the fleet view forever.  Pushes within the ttl replace the
+    worker's previous snapshot wholesale (last-write-wins per worker).
+    """
+
+    def __init__(self, ttl: float = 90.0) -> None:
+        if ttl <= 0:
+            raise RollupError(f"rollup ttl must be positive, got {ttl}")
+        self.ttl = float(ttl)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, dict] = {}
+
+    def push(self, worker: str, snapshot: Mapping[str, dict],
+             label: Optional[str] = None) -> None:
+        """Adopt ``worker``'s latest snapshot (validated, LWW)."""
+
+        if not isinstance(worker, str) or not worker:
+            raise RollupError(f"rollup pushes need a worker id string, got {worker!r}")
+        validate_snapshot(snapshot)
+        with self._lock:
+            previous = self._entries.get(worker)
+            self._entries[worker] = {
+                "worker": worker,
+                "label": str(label) if label else worker,
+                "snapshot": snapshot,
+                "updated": time.monotonic(),
+                "pushes": (previous["pushes"] if previous else 0) + 1,
+            }
+
+    def drop(self, worker: str) -> bool:
+        """Forget one worker's series immediately (e.g. deregistration)."""
+
+        with self._lock:
+            return self._entries.pop(worker, None) is not None
+
+    def _evict_stale_locked(self) -> None:
+        cutoff = time.monotonic() - self.ttl
+        for worker in [w for w, e in self._entries.items() if e["updated"] < cutoff]:
+            del self._entries[worker]
+
+    def workers(self) -> List[dict]:
+        """Who is in the rollup: id, label, seconds since last push."""
+
+        with self._lock:
+            self._evict_stale_locked()
+            now = time.monotonic()
+            return [
+                {
+                    "worker": entry["worker"],
+                    "label": entry["label"],
+                    "age_s": now - entry["updated"],
+                    "pushes": entry["pushes"],
+                }
+                for _, entry in sorted(self._entries.items())
+            ]
+
+    def fleet_snapshot(
+        self,
+        local: Optional[Mapping[str, dict]] = None,
+        local_label: str = "_server",
+    ) -> Dict[str, dict]:
+        """The merged, worker-labeled fleet view (see module docstring).
+
+        ``local`` folds the calling process's own snapshot in under
+        ``local_label``, so the server's queue/lease/store series sit in
+        the same exposition as the fleet's — one scrape, whole system.
+        """
+
+        with self._lock:
+            self._evict_stale_locked()
+            entries = [self._entries[worker] for worker in sorted(self._entries)]
+            parts = [
+                label_snapshot(entry["snapshot"], **{WORKER_LABEL: entry["label"]})
+                for entry in entries
+            ]
+        if local is not None:
+            parts.insert(0, label_snapshot(local, **{WORKER_LABEL: local_label}))
+        return merge_snapshots(parts)

@@ -40,6 +40,7 @@ __all__ = [
     "TRACE_HEADER",
     "TraceWriter",
     "Tracer",
+    "current_trace_id",
 ]
 
 #: HTTP header carrying ``trace_id/span_id`` between client, server and
@@ -53,6 +54,24 @@ def _new_id() -> str:
     # os.urandom, *not* the splitmix64 noise stream: trace ids must never
     # perturb (or be reproducible from) measurement noise.
     return os.urandom(8).hex()
+
+
+# Thread-local pointer at the innermost *recorded* span's trace id.
+# Only tracers with a writer publish here: a writer-less tracer's span
+# ids land nowhere, so an exemplar pointing at them would dangle.
+_ACTIVE = threading.local()
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of this thread's innermost recorded span, if any.
+
+    This is the hook :meth:`repro.obs.metrics.Histogram.observe` uses to
+    attach exemplars without call sites threading a tracer through: any
+    histogram observation made while a writer-backed span is open links
+    its bucket to that span's trace.
+    """
+
+    return getattr(_ACTIVE, "trace_id", None)
 
 
 @dataclass(frozen=True)
@@ -188,6 +207,10 @@ class Tracer:
         span = Span(name, trace_id=trace_id, parent_id=parent_id, attrs=attrs)
         stack = self._stack()
         stack.append(span)
+        recorded = self.writer is not None
+        if recorded:
+            previous = getattr(_ACTIVE, "trace_id", None)
+            _ACTIVE.trace_id = span.trace_id
         try:
             yield span
         except BaseException as error:
@@ -196,6 +219,8 @@ class Tracer:
             raise
         finally:
             stack.pop()
+            if recorded:
+                _ACTIVE.trace_id = previous
             span.finish()
             if self.writer is not None:
                 self.writer.write(span.to_dict())

@@ -38,13 +38,15 @@ Modules
     Step-result projections shared by the CLI and the job records.
 ``fleet``
     Distributed measurement: the crash-safe :class:`LeaseManager` work
-    queue, the ``remote`` executor that publishes into it and the
+    queue, the ``remote`` executor that publishes into it, the
     pull-based :class:`FleetWorker` that ``repro-experiments worker``
-    runs against a serving URL.
+    runs against a serving URL, and the :class:`Autoscaler` that
+    ``serve --autoscale MIN:MAX`` runs to spawn/retire in-process
+    workers from the fleet's own load signals.
 """
 
 from .client import ServiceClient, ServiceError
-from .fleet import FleetWorker, LeaseManager, RemoteExecutor, run_worker
+from .fleet import Autoscaler, FleetWorker, LeaseManager, RemoteExecutor, run_worker
 from .jobs import JOB_STATUSES, STEP_STATUSES, Job, JobStore, StepRecord
 from .queue import JobQueue
 from .results import describe_step_result, step_result_payload
@@ -53,6 +55,7 @@ from .server import ReproServer, serve
 __all__ = [
     "JOB_STATUSES",
     "STEP_STATUSES",
+    "Autoscaler",
     "FleetWorker",
     "Job",
     "JobQueue",

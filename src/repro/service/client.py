@@ -216,6 +216,39 @@ class ServiceClient:
         with self._open("GET", "/v1/metrics") as response:
             return response.read().decode("utf-8")
 
+    def fleet_metrics(self) -> Dict[str, Any]:
+        """The merged fleet snapshot (``GET /v1/metrics/fleet.json``).
+
+        Every pushed worker snapshot — plus the server's own registry —
+        merged under the ``worker`` label; see
+        :mod:`repro.obs.rollup` for the merge semantics.
+        """
+
+        return self._request("GET", "/v1/metrics/fleet.json")
+
+    def fleet_metrics_text(self) -> str:
+        """The merged fleet snapshot as Prometheus text (``GET /v1/metrics/fleet``)."""
+
+        with self._open("GET", "/v1/metrics/fleet") as response:
+            return response.read().decode("utf-8")
+
+    def push_worker_metrics(
+        self,
+        worker: str,
+        snapshot: Dict[str, Any],
+        label: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Push a worker's registry snapshot into the server's rollup.
+
+        ``label`` is the ``worker`` label value the rollup files the
+        series under (defaults server-side to the worker id).
+        """
+
+        payload: Dict[str, Any] = {"snapshot": snapshot}
+        if label is not None:
+            payload["label"] = label
+        return self._request("POST", f"/v1/workers/{worker}/metrics", payload)
+
     # ------------------------------------------------------------------
     # Fleet surface (used by repro.service.fleet.worker)
     # ------------------------------------------------------------------

@@ -18,13 +18,20 @@ This package lets those tasks leave the server process entirely:
 ``worker``
     :class:`FleetWorker` / ``repro-experiments worker --url`` — the
     stateless pull agent: register, claim, measure with
-    :func:`repro.api.executor._measure_worker`, heartbeat, post back.
+    :func:`repro.api.executor._measure_worker`, heartbeat, post back —
+    and push its metrics snapshot into the server's fleet rollup.
+``autoscale``
+    :class:`Autoscaler` / ``serve --autoscale MIN:MAX`` — the control
+    loop consuming ``GET /v1/fleet``'s autoscaling signals: spawns and
+    retires in-process :class:`FleetWorker` threads to hold the
+    pending-lease backlog near zero, with hysteresis and cooldown.
 
 Determinism is inherited, not negotiated: measurement noise is
 counter-based on the configuration and seed, so any fleet of any size
 produces results bitwise identical to a serial run.
 """
 
+from .autoscale import AutoscaleError, Autoscaler, parse_autoscale
 from .leases import (
     DEFAULT_LEASE_TTL,
     DEFAULT_MAX_ATTEMPTS,
@@ -40,6 +47,8 @@ from .remote import RemoteExecutor
 from .worker import FleetWorker, run_worker
 
 __all__ = [
+    "AutoscaleError",
+    "Autoscaler",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_ATTEMPTS",
     "FleetWorker",
@@ -51,5 +60,6 @@ __all__ = [
     "RemoteExecutor",
     "StaleLeaseError",
     "UnknownLeaseError",
+    "parse_autoscale",
     "run_worker",
 ]

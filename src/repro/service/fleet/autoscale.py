@@ -1,0 +1,330 @@
+"""The autoscaler: a control loop that closes the observability loop.
+
+``GET /v1/fleet`` has published autoscaling signals (``pending_leases``,
+``busy_workers``, ``idle_workers``, claim-wait percentiles) since the
+fleet landed; nothing consumed them.  :class:`Autoscaler` does: it
+samples the :class:`~repro.service.fleet.leases.LeaseManager` directly
+(the same data the HTTP route serves) and spawns or retires in-process
+:class:`~repro.service.fleet.worker.FleetWorker` threads to hold
+``pending_leases`` near zero, bounded by ``min_workers:max_workers``.
+
+The spawned workers are *real* fleet workers: they connect to the
+server's own URL over HTTP and walk the full register → claim →
+heartbeat → complete → metrics-push path, so an autoscaled fleet is
+bitwise identical to (and indistinguishable from, server-side) an
+operator-started one.  Each worker gets its own
+:class:`~repro.obs.metrics.MetricsRegistry`, because pushing the
+server's shared default registry once per worker would double-count the
+server's series in the fleet rollup.
+
+Control behaviour, deliberately boring:
+
+* **Scale up** when ``pending_leases > 0`` and capacity remains —
+  enough workers to cover the backlog, all at once (leases are
+  short-lived; a timid +1 loop would serialize the fan-out).
+* **Scale down** one worker at a time, only after the backlog has been
+  empty and at least one worker idle for ``idle_grace`` seconds
+  (hysteresis) — a momentary gap between waves must not churn threads.
+* **Cooldown** seconds must pass between any two scaling actions, so
+  the loop cannot flap even when signals oscillate at sample rate.
+
+The loop is observable by the machinery it closes: decisions run inside
+``autoscaler.scale`` spans and move the ``repro_autoscaler_workers``
+gauge and ``repro_autoscaler_events_total{direction=...}`` counter.
+Everything here lives outside the measurement path; scaling changes
+*when* leases run, never what they measure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ...obs.metrics import MetricsRegistry, default_registry
+from ...obs.trace import TraceWriter, Tracer
+from .leases import LeaseManager
+from .worker import FleetWorker
+
+_AUTOSCALER_WORKERS = default_registry().gauge(
+    "repro_autoscaler_workers",
+    "In-process fleet workers the autoscaler currently runs.",
+)
+_AUTOSCALER_EVENTS = default_registry().counter(
+    "repro_autoscaler_events_total",
+    "Autoscaler scaling actions, by direction.",
+    labelnames=("direction",),
+)
+
+#: Default seconds between control-loop samples.
+DEFAULT_INTERVAL = 0.25
+
+#: Default minimum seconds between two scaling actions.
+DEFAULT_COOLDOWN = 1.0
+
+#: Default seconds the backlog must stay empty (with an idle worker)
+#: before one worker is retired.
+DEFAULT_IDLE_GRACE = 3.0
+
+
+class AutoscaleError(ValueError):
+    """Raised for malformed autoscaler bounds or specs."""
+
+
+def parse_autoscale(spec: str) -> "tuple[int, int]":
+    """Parse the CLI's ``MIN:MAX`` worker-bound spec (e.g. ``0:4``)."""
+
+    parts = str(spec).split(":")
+    if len(parts) != 2:
+        raise AutoscaleError(
+            f"autoscale spec must look like MIN:MAX, got {spec!r}"
+        )
+    try:
+        low, high = int(parts[0]), int(parts[1])
+    except ValueError as error:
+        raise AutoscaleError(
+            f"autoscale bounds must be integers, got {spec!r}"
+        ) from error
+    if low < 0 or high < 1 or low > high:
+        raise AutoscaleError(
+            f"autoscale bounds need 0 <= MIN <= MAX and MAX >= 1, got {spec!r}"
+        )
+    return low, high
+
+
+class Autoscaler:
+    """Spawn/retire fleet-worker threads to drain the lease backlog.
+
+    Parameters
+    ----------
+    url:
+        The service URL the spawned workers connect to (normally the
+        owning server's own address).
+    manager:
+        The server's :class:`LeaseManager` — sampled directly for the
+        same ``autoscaling`` block ``GET /v1/fleet`` serves.
+    min_workers / max_workers:
+        Inclusive worker-count bounds; ``min_workers`` threads are
+        started immediately and kept alive regardless of load.
+    interval / cooldown / idle_grace:
+        Loop sample period, minimum seconds between scaling actions and
+        seconds of empty backlog required before a scale-down.
+    trace_writer:
+        Optional shared :class:`~repro.obs.trace.TraceWriter`; spawned
+        workers then write their ``worker.measure`` spans (and the
+        autoscaler its ``autoscaler.scale`` spans) into the same JSONL
+        file as the server, so ``trace show`` reconstructs the whole
+        client→queue→executor→worker tree from one artifact.
+    on_event:
+        Optional callable receiving progress strings (the CLI prints
+        them).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        manager: LeaseManager,
+        min_workers: int = 0,
+        max_workers: int = 4,
+        interval: float = DEFAULT_INTERVAL,
+        cooldown: float = DEFAULT_COOLDOWN,
+        idle_grace: float = DEFAULT_IDLE_GRACE,
+        trace_writer: Optional[TraceWriter] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if min_workers < 0 or max_workers < 1 or min_workers > max_workers:
+            raise AutoscaleError(
+                "autoscaler bounds need 0 <= min <= max and max >= 1, "
+                f"got {min_workers}:{max_workers}"
+            )
+        if interval <= 0:
+            raise AutoscaleError(f"interval must be positive, got {interval}")
+        if cooldown < 0 or idle_grace < 0:
+            raise AutoscaleError(
+                f"cooldown/idle_grace must be >= 0, got {cooldown}/{idle_grace}"
+            )
+        self.url = url
+        self.manager = manager
+        self.min_workers = int(min_workers)
+        self.max_workers = int(max_workers)
+        self.interval = float(interval)
+        self.cooldown = float(cooldown)
+        self.idle_grace = float(idle_grace)
+        self.trace_writer = trace_writer
+        self._emit = on_event if on_event is not None else (lambda message: None)
+        self._tracer = Tracer(writer=trace_writer)
+        self._lock = threading.Lock()
+        self._workers: List[Dict[str, object]] = []
+        self._spawned = 0
+        self._last_action: Optional[float] = None
+        self._empty_since: Optional[float] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Autoscaler":
+        """Run the control loop on a daemon thread; returns ``self``."""
+
+        with self._lock:
+            if self._thread is None:
+                self._stop.clear()
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-autoscaler", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the loop, retire every worker and join the threads."""
+
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            stop_flag = self._stop
+        stop_flag.set()
+        if thread is not None:
+            thread.join(timeout=timeout)
+        # The loop has exited; nothing spawns past this point.
+        with self._lock:
+            workers = list(self._workers)
+            self._workers = []
+            _AUTOSCALER_WORKERS.set(0)
+        for entry in workers:
+            entry["stop"].set()
+        for entry in workers:
+            entry["thread"].join(timeout=timeout)
+
+    def __enter__(self) -> "Autoscaler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def workers(self) -> int:
+        """Live in-process worker threads right now."""
+
+        with self._lock:
+            return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # The control loop (private: lock discipline is per-helper)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            try:
+                self._step()
+            except Exception:  # pragma: no cover - defensive
+                # A failed sample must not kill the loop; the next tick
+                # re-samples from scratch.
+                pass
+            if self._stop.wait(self.interval):
+                return
+
+    def _step(self) -> None:
+        self._reap()
+        signals = self.manager.status()["autoscaling"]
+        pending = int(signals["pending_leases"])
+        now = time.monotonic()
+        with self._lock:
+            current = len(self._workers)
+        if pending > 0:
+            self._empty_since = None
+            target = min(self.max_workers, max(current, self.min_workers, pending))
+            if target > current and self._cooled(now):
+                self._scale_up(target - current, pending)
+            return
+        if current < self.min_workers:
+            # Below the floor (initial start, or floor workers died).
+            self._scale_up(self.min_workers - current, pending)
+            return
+        if current > self.min_workers:
+            if self._empty_since is None:
+                self._empty_since = now
+            if now - self._empty_since >= self.idle_grace and self._cooled(now):
+                self._scale_down()
+        else:
+            self._empty_since = None
+
+    def _cooled(self, now: float) -> bool:
+        return self._last_action is None or now - self._last_action >= self.cooldown
+
+    def _reap(self) -> None:
+        """Forget workers whose threads ended on their own (server gone)."""
+
+        with self._lock:
+            live = [entry for entry in self._workers if entry["thread"].is_alive()]
+            if len(live) != len(self._workers):
+                self._workers = live
+                _AUTOSCALER_WORKERS.set(len(live))
+
+    def _scale_up(self, count: int, pending: int) -> None:
+        with self._tracer.span(
+            "autoscaler.scale", direction="up", delta=count, pending=pending
+        ):
+            for _ in range(count):
+                self._spawn()
+        _AUTOSCALER_EVENTS.inc(direction="up")
+        self._last_action = time.monotonic()
+        with self._lock:
+            total = len(self._workers)
+        self._emit(f"scaled up by {count} to {total} worker(s) ({pending} pending)")
+
+    def _scale_down(self) -> None:
+        with self._lock:
+            if len(self._workers) <= self.min_workers:
+                return
+            entry = self._workers.pop()  # newest first: oldest keep cache warmth
+            _AUTOSCALER_WORKERS.set(len(self._workers))
+            total = len(self._workers)
+        with self._tracer.span("autoscaler.scale", direction="down", delta=1):
+            entry["stop"].set()
+            entry["thread"].join(timeout=30.0)
+        _AUTOSCALER_EVENTS.inc(direction="down")
+        self._last_action = time.monotonic()
+        self._empty_since = None
+        self._emit(f"scaled down by 1 to {total} worker(s)")
+
+    def _spawn(self) -> None:
+        self._spawned += 1
+        name = f"autoscale-{self._spawned}"
+        stop = threading.Event()
+        # Each worker counts into its own registry: pushing the server's
+        # shared default registry once per worker would double-count the
+        # server's series in the fleet rollup it feeds.
+        worker = FleetWorker(
+            url=self.url,
+            name=name,
+            poll=min(1.0, self.interval * 2.0),
+            tracer=Tracer(writer=self.trace_writer),
+            registry=MetricsRegistry(),
+            on_event=lambda message, _name=name: self._emit(f"[{_name}] {message}"),
+        )
+
+        def run() -> None:
+            try:
+                worker.run(stop=stop)
+            except Exception:
+                # A worker that cannot reach the server dies quietly; the
+                # reaper forgets it and the loop re-spawns under load.
+                pass
+
+        thread = threading.Thread(target=run, name=f"repro-{name}", daemon=True)
+        with self._lock:
+            self._workers.append({
+                "name": name, "thread": thread, "stop": stop, "worker": worker,
+            })
+            _AUTOSCALER_WORKERS.set(len(self._workers))
+        thread.start()
+
+
+__all__ = [
+    "AutoscaleError",
+    "Autoscaler",
+    "DEFAULT_COOLDOWN",
+    "DEFAULT_IDLE_GRACE",
+    "DEFAULT_INTERVAL",
+    "parse_autoscale",
+]

@@ -37,7 +37,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ...obs.metrics import default_registry
+from ...obs.metrics import DEFAULT_TIME_BUCKETS_S, Histogram, default_registry
 
 _LEASES_PUBLISHED = default_registry().counter(
     "repro_leases_published_total", "Measurement leases published to the fleet."
@@ -171,6 +171,15 @@ class LeaseManager:
             raise LeaseError(f"max_attempts must be >= 1, got {max_attempts}")
         self.lease_ttl = float(lease_ttl)
         self.max_attempts = int(max_attempts)
+        # Private (unregistered) claim-wait histogram: status() quantiles
+        # must describe *this* manager, not every claim the process ever
+        # saw through the shared exposition family — a fresh manager's
+        # /v1/fleet renders claim_wait_p50_s: null until its first claim.
+        self._claim_wait = Histogram(
+            "lease_claim_wait_seconds",
+            "Claim waits observed by this manager.",
+            buckets=DEFAULT_TIME_BUCKETS_S,
+        )
         self._leases: Dict[str, Lease] = {}
         self._pending: List[str] = []  # claim order (FIFO)
         self._workers: Dict[str, Dict[str, Any]] = {}
@@ -319,7 +328,15 @@ class LeaseManager:
                     lease.attempts += 1
                     lease.deadline = time.monotonic() + self.lease_ttl
                     _LEASE_CLAIMS.inc()
-                    _CLAIM_WAIT.observe(time.monotonic() - started)
+                    waited = time.monotonic() - started
+                    # The claimed lease's trace id rides along as the
+                    # bucket exemplar, so a slow claim-wait bucket in the
+                    # exposition points at the exact trace to `trace show`.
+                    exemplar = (
+                        lease.trace.split("/", 1)[0] if lease.trace else None
+                    )
+                    _CLAIM_WAIT.observe(waited, exemplar=exemplar)
+                    self._claim_wait.observe(waited, exemplar=exemplar)
                     self._changed.notify_all()
                     return lease.claim_payload(self.lease_ttl)
                 remaining = deadline - time.monotonic()
@@ -492,14 +509,16 @@ class LeaseManager:
                 },
                 "workers": workers,
                 # Scale up on pending_leases / claim-wait growth, down on
-                # idle_workers.  The percentiles come from the process-wide
-                # claim-wait histogram (None until the first claim).
+                # idle_workers.  The percentiles come from this manager's
+                # own claim-wait histogram (null until its first claim —
+                # the shared exposition family would leak other managers'
+                # claims in the same process).
                 "autoscaling": {
                     "pending_leases": counts["pending"],
                     "busy_workers": len(busy),
                     "idle_workers": max(0, active - len(busy)),
-                    "claim_wait_p50_s": _CLAIM_WAIT.quantile(0.5),
-                    "claim_wait_p95_s": _CLAIM_WAIT.quantile(0.95),
+                    "claim_wait_p50_s": self._claim_wait.quantile(0.5),
+                    "claim_wait_p95_s": self._claim_wait.quantile(0.95),
                 },
             }
 

@@ -40,6 +40,7 @@ from ..api.plan import Plan, PlanError, Step
 from ..api.scheduler import scheduled_order
 from ..api.session import Session
 from ..obs.metrics import default_registry
+from ..obs.rollup import RollupStore
 from ..obs.trace import SpanContext, TraceWriter, Tracer
 from .fleet.leases import DEFAULT_LEASE_TTL, LeaseManager, LeaseWaitAborted
 from .jobs import Job, JobStore
@@ -128,6 +129,12 @@ class JobQueue:
         # executor publish their measurement workload here, and the HTTP
         # layer's /v1/leases routes let fleet workers pull from it.
         self.lease_manager = LeaseManager(lease_ttl=lease_ttl)
+        # Per-worker metrics snapshots pushed over /v1/workers/{id}/metrics.
+        # The ttl mirrors the lease liveness window (3x the heartbeat
+        # deadline): a worker silent that long is gone from /v1/fleet's
+        # active list, so its gauges leave the rollup too.  Lifetime
+        # counters survive because exiting workers push a final snapshot.
+        self.rollup = RollupStore(ttl=3.0 * self.lease_manager.lease_ttl)
         self.trace_writer = TraceWriter(trace) if trace is not None else None
         self._queue: "_stdlib_queue.Queue[Optional[str]]" = _stdlib_queue.Queue()
         self._closed = False

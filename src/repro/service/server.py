@@ -18,6 +18,9 @@ and exposes the versioned API::
     GET  /v1/fleet                 lease + worker status  -> 200
     GET  /v1/metrics               Prometheus text format -> 200
     GET  /v1/metrics.json          same snapshot, as JSON -> 200
+    POST /v1/workers/{id}/metrics  push a worker snapshot -> 200
+    GET  /v1/metrics/fleet         merged fleet rollup    -> 200
+    GET  /v1/metrics/fleet.json    same rollup, as JSON   -> 200
 
 ``POST /v1/plans`` accepts either a bare serialized
 :class:`~repro.api.plan.Plan` payload or an envelope
@@ -62,6 +65,7 @@ from .fleet.leases import (
     UnknownLeaseError,
 )
 from ..obs.metrics import default_registry
+from ..obs.rollup import RollupError, render_snapshot_prometheus
 from ..obs.trace import TRACE_HEADER
 from .jobs import JOB_VERSION, JobStore, UnknownJobError
 from .queue import JobQueue, QueueClosedError
@@ -186,8 +190,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return self._get_metrics()
             if method == "GET" and rest == ["metrics.json"]:
                 return self._get_metrics_json()
+            if method == "GET" and rest == ["metrics", "fleet"]:
+                return self._get_fleet_metrics(as_json=False)
+            if method == "GET" and rest == ["metrics", "fleet.json"]:
+                return self._get_fleet_metrics(as_json=True)
             if method == "POST" and rest == ["workers", "register"]:
                 return self._post_worker_register()
+            if method == "POST" and len(rest) == 3 and rest[0] == "workers" and rest[2] == "metrics":
+                return self._post_worker_metrics(rest[1])
             if method == "POST" and rest == ["leases", "claim"]:
                 return self._post_lease_claim()
             if method == "POST" and len(rest) == 3 and rest[:1] == ["leases"] and rest[2] == "heartbeat":
@@ -261,6 +271,34 @@ class _ServiceHandler(BaseHTTPRequestHandler):
 
     def _get_metrics_json(self) -> None:
         self._send_json(default_registry().snapshot())
+
+    def _get_fleet_metrics(self, as_json: bool) -> None:
+        snapshot = self.server.job_queue.rollup.fleet_snapshot(
+            local=default_registry().snapshot()
+        )
+        if as_json:
+            return self._send_json(snapshot)
+        body = render_snapshot_prometheus(snapshot).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _post_worker_metrics(self, worker_id: str) -> None:
+        body = self._read_body()
+        if not isinstance(body, dict):
+            raise _ApiError(400, "metrics push body must be a JSON object")
+        label = body.get("label")
+        if label is not None and not isinstance(label, str):
+            raise _ApiError(400, f"metrics push label must be a string, got {label!r}")
+        try:
+            self.server.job_queue.rollup.push(
+                worker_id, body.get("snapshot"), label=label
+            )
+        except RollupError as error:
+            raise _ApiError(400, str(error)) from error
+        self._send_json({"worker": worker_id, "status": "accepted"})
 
     def _get_jobs(self) -> None:
         self._send_json({"jobs": self._store.summaries()})
@@ -421,6 +459,7 @@ class ReproServer:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         events_keepalive_seconds: float = DEFAULT_EVENTS_KEEPALIVE_SECONDS,
         trace: Union[str, Path, None] = None,
+        autoscale: Optional[Tuple[int, int]] = None,
     ) -> None:
         if job_store is None and profile_store is not None:
             # Persist jobs next to the profile store by default, so one
@@ -450,6 +489,22 @@ class ReproServer:
         self._http.job_queue = self.queue
         self._thread: Optional[threading.Thread] = None
         self._served = False
+        self._closed = False
+        # The autoscaler connects its in-process workers to this
+        # server's own URL (the socket is already bound), sharing the
+        # queue's trace writer so worker spans land in the same file.
+        self.autoscaler = None
+        if autoscale is not None:
+            from .fleet.autoscale import Autoscaler
+
+            low, high = autoscale
+            self.autoscaler = Autoscaler(
+                url=self.url,
+                manager=self.queue.lease_manager,
+                min_workers=low,
+                max_workers=high,
+                trace_writer=self.queue.trace_writer,
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -483,17 +538,39 @@ class ReproServer:
                 daemon=True,
             )
             self._thread.start()
+            if self.autoscaler is not None:
+                self.autoscaler.start()
         return self
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the ``serve`` CLI's main loop)."""
 
         self._served = True
+        if self.autoscaler is not None:
+            self.autoscaler.start()
         self._http.serve_forever()
 
     def close(self, drain: bool = True) -> None:
         """Stop the HTTP listener, drain the queue, join the workers."""
 
+        if self._closed:
+            return
+        self._closed = True
+        if self.autoscaler is not None:
+            # Workers first: they talk HTTP to this very server, so
+            # requests must keep being served while they finish their
+            # leases and push their final metrics.  In the CLI path the
+            # main-thread accept loop has already exited (Ctrl-C broke
+            # out of serve_forever), so run it on a helper thread for
+            # the duration of the drain; shutdown() below stops it.
+            if self._served and self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._http.serve_forever,
+                    name="repro-service-drain",
+                    daemon=True,
+                )
+                self._thread.start()
+            self.autoscaler.stop()
         self._http.closing = True
         if self._served:
             # shutdown() would block forever if serve_forever never ran.
@@ -521,6 +598,7 @@ def serve(
     verbose: bool = False,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     trace: Union[str, Path, None] = None,
+    autoscale: Optional[Tuple[int, int]] = None,
 ) -> ReproServer:
     """Build and start a :class:`ReproServer` (the ``serve`` CLI backend)."""
 
@@ -534,6 +612,7 @@ def serve(
         verbose=verbose,
         lease_ttl=lease_ttl,
         trace=trace,
+        autoscale=autoscale,
     ).start()
 
 

@@ -153,6 +153,68 @@ class TestRunPlanSubcommand:
         assert "seed" in capsys.readouterr().err
 
 
+class TestTraceSubcommand:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.obs.trace import TraceWriter, Tracer
+
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(writer=TraceWriter(path))
+        with tracer.span("job", step="sweep-1") as root:
+            with tracer.span("worker.measure"):
+                pass
+        self.trace_id = root.trace_id
+        return path
+
+    def test_ls_prints_one_row_per_trace(self, trace_path, capsys):
+        assert main(["trace", "ls", "--file", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "TRACE" in output and "ROOT" in output
+        assert self.trace_id in output
+        assert "job" in output
+
+    def test_ls_json_emits_summaries(self, trace_path, capsys):
+        assert main(["trace", "ls", "--file", str(trace_path), "--json"]) == 0
+        (summary,) = json.loads(capsys.readouterr().out)
+        assert summary["trace"] == self.trace_id
+        assert summary["spans"] == 2
+        assert summary["root"] == "job"
+
+    def test_show_renders_the_indented_tree(self, trace_path, capsys):
+        assert main(["trace", "show", self.trace_id, "--file", str(trace_path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith(f"trace {self.trace_id}  (2 spans)")
+        assert lines[1].startswith("job  ")
+        assert lines[2].startswith("  worker.measure  ")
+
+    def test_show_cross_references_a_metrics_snapshot(self, trace_path, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_lease_claim_wait_seconds", "W.", buckets=(5.0,)
+        ).observe(4.2, exemplar=self.trace_id)
+        snapshot_path = tmp_path / "metrics.json"
+        snapshot_path.write_text(json.dumps(registry.snapshot()), encoding="utf-8")
+        assert main([
+            "trace", "show", self.trace_id, "--file", str(trace_path),
+            "--metrics-json", str(snapshot_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "metric exemplars referencing this trace:" in output
+        assert "repro_lease_claim_wait_seconds le=5.0  value=4.2" in output
+
+    def test_unknown_trace_and_bad_usage_exit_2(self, trace_path, capsys):
+        assert main(["trace", "show", "no-such-trace", "--file", str(trace_path)]) == 2
+        assert "no spans" in capsys.readouterr().err
+        assert main(["trace", "ls"]) == 2
+        assert "--file" in capsys.readouterr().err
+        assert main(["trace", "prune", "--file", str(trace_path)]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["trace", "ls", "--file", str(trace_path / "absent")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
 class TestTargetsSubcommand:
     def test_targets_lists_every_device_library_pair(self, capsys):
         from repro.gpusim import DEVICES

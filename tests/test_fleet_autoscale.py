@@ -1,0 +1,148 @@
+"""Tests for repro.service.fleet.autoscale: spec parsing and the loop.
+
+The headline acceptance test boots a server with ``autoscale=(0, 4)``
+and **zero** pre-started workers, submits a remote-executor plan and
+requires results bitwise identical to a serial in-process run — the
+autoscaler alone must notice the backlog, spawn workers, drain it and
+(after the idle grace) retire them again.
+"""
+
+import time
+
+import pytest
+
+from repro.api import Plan, Session, Target
+from repro.models import ConvLayerSpec
+from repro.obs.metrics import default_registry
+from repro.service import ReproServer, ServiceClient
+from repro.service.fleet.autoscale import (
+    AutoscaleError,
+    Autoscaler,
+    parse_autoscale,
+)
+from repro.service.fleet.leases import LeaseManager
+from repro.service.results import step_result_payload
+
+TARGETS = (Target("hikey-970", "acl-gemm"), Target("jetson-tx2", "cudnn"))
+
+LAYER = ConvLayerSpec(
+    name="test.autoscale.conv", in_channels=16, out_channels=24,
+    kernel_size=3, stride=1, padding=1, input_hw=14,
+)
+
+
+def sweep_plan() -> Plan:
+    plan = Plan()
+    plan.sweep(TARGETS, LAYER, sweep_step=8)
+    return plan
+
+
+class TestParseAutoscale:
+    @pytest.mark.parametrize("spec, bounds", [
+        ("0:4", (0, 4)), ("1:1", (1, 1)), ("2:16", (2, 16)),
+    ])
+    def test_valid_specs(self, spec, bounds):
+        assert parse_autoscale(spec) == bounds
+
+    @pytest.mark.parametrize("spec", [
+        "", "4", "1:2:3", "a:b", "1.5:3", "-1:4", "3:2", "0:0",
+    ])
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(AutoscaleError):
+            parse_autoscale(spec)
+
+
+class TestConstructorValidation:
+    def test_bad_bounds_and_timings_raise(self):
+        manager = LeaseManager()
+        for kwargs in (
+            {"min_workers": -1}, {"max_workers": 0},
+            {"min_workers": 3, "max_workers": 2},
+            {"interval": 0.0}, {"cooldown": -1.0}, {"idle_grace": -0.1},
+        ):
+            with pytest.raises(AutoscaleError):
+                Autoscaler("http://127.0.0.1:1", manager, **kwargs)
+
+
+class TestAutoscaledFleet:
+    def test_drains_a_plan_with_no_prestarted_workers_bitwise_identical(self, tmp_path):
+        """Acceptance: serve --autoscale 0:4 alone completes the plan."""
+
+        plan = sweep_plan()
+        expected = Session().execute(plan)  # serial in-process reference
+        events = []
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl",
+            executor="remote",
+            lease_ttl=10.0,
+            autoscale=(0, 4),
+        ) as server:
+            server.autoscaler.interval = 0.05  # fast loop for the test
+            client = ServiceClient(server.url)
+            job = client.submit(plan)
+            final = client.wait(job["id"], timeout=120.0)
+            assert final["status"] == "succeeded"
+            for record in final["steps"]:
+                assert record["result"] == step_result_payload(
+                    expected[record["id"]]
+                ), f"{record['id']} diverged from the serial run"
+            # The work really went through autoscaled fleet workers.
+            fleet = client.fleet()
+            assert fleet["lifetime"]["completed"] == len(TARGETS)
+            names = {worker["name"] for worker in fleet["workers"]}
+            assert names and all(name.startswith("autoscale-") for name in names)
+            events = default_registry().snapshot()[
+                "repro_autoscaler_events_total"
+            ]["series"]
+        assert any(row["labels"]["direction"] == "up" for row in events)
+
+    def test_scale_down_after_idle_grace(self, tmp_path):
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl",
+            executor="remote",
+            lease_ttl=10.0,
+            autoscale=(0, 2),
+        ) as server:
+            autoscaler = server.autoscaler
+            autoscaler.interval = 0.05
+            autoscaler.cooldown = 0.05
+            autoscaler.idle_grace = 0.2
+            client = ServiceClient(server.url)
+            job = client.submit(sweep_plan())
+            assert client.wait(job["id"], timeout=120.0)["status"] == "succeeded"
+            deadline = time.monotonic() + 30.0
+            while autoscaler.workers > 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert autoscaler.workers == 0, "idle workers were never retired"
+
+    def test_min_workers_floor_is_held_without_load(self, tmp_path):
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl",
+            executor="remote",
+            autoscale=(1, 2),
+        ) as server:
+            autoscaler = server.autoscaler
+            autoscaler.interval = 0.05
+            deadline = time.monotonic() + 30.0
+            while autoscaler.workers < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            # No backlog: the floor worker is started and kept, no more.
+            assert autoscaler.workers == 1
+            time.sleep(0.3)
+            assert autoscaler.workers == 1
+
+    def test_stop_is_idempotent_and_joins_workers(self, tmp_path):
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl",
+            executor="remote",
+            autoscale=(1, 2),
+        ) as server:
+            autoscaler = server.autoscaler
+            autoscaler.interval = 0.05
+            deadline = time.monotonic() + 30.0
+            while autoscaler.workers < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+        # Context exit already called close() -> autoscaler.stop().
+        assert autoscaler.workers == 0
+        autoscaler.stop()  # second stop is a no-op
+        assert autoscaler.workers == 0

@@ -14,6 +14,7 @@ import pytest
 
 from repro.obs.metrics import (
     COUNT_BUCKETS,
+    DEFAULT_EXEMPLARS_PER_BUCKET,
     Counter,
     Gauge,
     Histogram,
@@ -117,6 +118,70 @@ class TestHistogram:
     def test_count_buckets_cover_powers_of_two(self):
         assert COUNT_BUCKETS[0] == 1.0
         assert all(b == 2 * a for a, b in zip(COUNT_BUCKETS, COUNT_BUCKETS[1:]))
+
+
+class TestExemplars:
+    def test_explicit_exemplar_lands_in_its_bucket(self):
+        histogram = Histogram("wait", buckets=(1.0, 2.0))
+        histogram.observe(0.5, exemplar="trace-a")
+        histogram.observe(100.0, exemplar="trace-b")
+        (series,) = histogram.snapshot_series()
+        assert series["exemplars"] == [
+            ["1.0", "trace-a", 0.5],
+            ["+Inf", "trace-b", 100.0],
+        ]
+
+    def test_exemplars_key_absent_without_exemplars(self):
+        # Untraced runs must keep byte-stable snapshots: no empty keys.
+        histogram = Histogram("wait", buckets=(1.0,))
+        histogram.observe(0.5)
+        (series,) = histogram.snapshot_series()
+        assert "exemplars" not in series
+
+    def test_bounded_per_bucket_newest_win(self):
+        histogram = Histogram("wait", buckets=(10.0,))
+        for index in range(DEFAULT_EXEMPLARS_PER_BUCKET + 3):
+            histogram.observe(float(index), exemplar=f"t{index}")
+        (series,) = histogram.snapshot_series()
+        kept = [row[1] for row in series["exemplars"]]
+        assert len(kept) == DEFAULT_EXEMPLARS_PER_BUCKET
+        assert kept == [f"t{index + 3}" for index in range(DEFAULT_EXEMPLARS_PER_BUCKET)]
+
+    def test_exemplars_zero_disables_capture(self):
+        histogram = Histogram("wait", buckets=(1.0,), exemplars=0)
+        histogram.observe(0.5, exemplar="ignored")
+        (series,) = histogram.snapshot_series()
+        assert "exemplars" not in series
+
+    def test_active_traced_span_is_captured_implicitly(self, tmp_path):
+        from repro.obs.trace import TraceWriter, Tracer
+
+        histogram = Histogram("wait", buckets=(1.0,))
+        tracer = Tracer(writer=TraceWriter(tmp_path / "trace.jsonl"))
+        with tracer.span("measuring") as span:
+            histogram.observe(0.5)
+        (series,) = histogram.snapshot_series()
+        assert series["exemplars"] == [["1.0", span.trace_id, 0.5]]
+
+    def test_writer_less_span_leaves_no_exemplar(self):
+        from repro.obs.trace import Tracer
+
+        histogram = Histogram("wait", buckets=(1.0,))
+        with Tracer().span("untraced"):
+            histogram.observe(0.5)
+        (series,) = histogram.snapshot_series()
+        assert "exemplars" not in series
+
+    def test_openmetrics_suffix_on_bucket_lines(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_wait_seconds", "Wait.", buckets=(1.0,))
+        histogram.observe(0.5, exemplar="abc123")
+        text = registry.render_prometheus()
+        assert (
+            'repro_wait_seconds_bucket{le="1"} 1 # {trace_id="abc123"} 0.5\n' in text
+        )
+        # Lines without an exemplar keep the classic format.
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1\n' in text
 
 
 class TestRendering:

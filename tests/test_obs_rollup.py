@@ -1,0 +1,277 @@
+"""Tests for the fleet metrics rollup (:mod:`repro.obs.rollup`).
+
+Covers the merge semantics contract — counters sum, gauges
+last-write-wins, histogram buckets add, bucket-boundary conflicts
+rejected — the worker-label stamping, the byte-compatibility of the
+snapshot renderer with the live registry renderer, the grep filter and
+the :class:`RollupStore`'s last-write-wins pushes plus staleness
+eviction.  A hypothesis property test checks that the *fleet* merge
+(worker-labeled snapshots) is associative and commutative over shuffled
+worker orders.
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rollup import (
+    RollupError,
+    RollupStore,
+    filter_snapshot,
+    label_snapshot,
+    merge_snapshots,
+    render_snapshot_prometheus,
+    validate_snapshot,
+)
+
+
+def registry_snapshot(counter=0.0, gauge=None, observations=(), exemplar=None):
+    """A real registry snapshot with one family of each type."""
+
+    registry = MetricsRegistry()
+    jobs = registry.counter("repro_jobs_total", "Jobs.", labelnames=("status",))
+    if counter:
+        jobs.inc(counter, status="done")
+    depth = registry.gauge("repro_depth", "Depth.")
+    if gauge is not None:
+        depth.set(gauge)
+    wait = registry.histogram("repro_wait_seconds", "Wait.", buckets=(0.1, 1.0))
+    for value in observations:
+        wait.observe(value, exemplar=exemplar)
+    return registry.snapshot()
+
+
+class TestMergeSemantics:
+    def test_counters_sum(self):
+        merged = merge_snapshots([
+            registry_snapshot(counter=2), registry_snapshot(counter=3),
+        ])
+        assert merged["repro_jobs_total"]["series"][0]["value"] == 5.0
+
+    def test_gauges_last_write_wins_in_argument_order(self):
+        merged = merge_snapshots([
+            registry_snapshot(gauge=3), registry_snapshot(gauge=7),
+        ])
+        assert merged["repro_depth"]["series"][0]["value"] == 7.0
+
+    def test_histogram_buckets_add_elementwise(self):
+        merged = merge_snapshots([
+            registry_snapshot(observations=(0.05, 2.0)),
+            registry_snapshot(observations=(0.5,)),
+        ])
+        series = merged["repro_wait_seconds"]["series"][0]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(2.55)
+        assert series["buckets"] == [["0.1", 1], ["1.0", 2], ["+Inf", 3]]
+
+    def test_histogram_exemplars_survive_the_merge(self):
+        merged = merge_snapshots([
+            registry_snapshot(observations=(0.05,), exemplar="aaaa"),
+            registry_snapshot(observations=(0.06,), exemplar="bbbb"),
+        ])
+        series = merged["repro_wait_seconds"]["series"][0]
+        assert [row[1] for row in series["exemplars"]] == ["aaaa", "bbbb"]
+
+    def test_conflicting_types_are_rejected(self):
+        a = MetricsRegistry()
+        a.counter("repro_thing", "A.").inc()
+        b = MetricsRegistry()
+        b.gauge("repro_thing", "B.").set(1)
+        with pytest.raises(RollupError, match="conflicting types"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_conflicting_bucket_boundaries_are_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("repro_h", "A.", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("repro_h", "B.", buckets=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(RollupError, match="bucket"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_disjoint_families_union(self):
+        a = MetricsRegistry()
+        a.counter("repro_a_total", "A.").inc()
+        b = MetricsRegistry()
+        b.counter("repro_b_total", "B.").inc()
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged) == {"repro_a_total", "repro_b_total"}
+
+    def test_empty_merge_is_empty(self):
+        assert merge_snapshots([]) == {}
+
+
+class TestLabelSnapshot:
+    def test_stamps_every_series_and_labelnames(self):
+        labeled = label_snapshot(registry_snapshot(counter=1, gauge=2), worker="w1")
+        for family in labeled.values():
+            assert "worker" in family["labelnames"]
+            for entry in family["series"]:
+                assert entry["labels"]["worker"] == "w1"
+
+    def test_does_not_mutate_the_input(self):
+        snapshot = registry_snapshot(counter=1)
+        label_snapshot(snapshot, worker="w1")
+        assert "worker" not in snapshot["repro_jobs_total"]["labelnames"]
+        assert "worker" not in snapshot["repro_jobs_total"]["series"][0]["labels"]
+
+    def test_refuses_to_overwrite_an_existing_label(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "X.", labelnames=("worker",)).inc(worker="spoof")
+        with pytest.raises(RollupError, match="already carries"):
+            label_snapshot(registry.snapshot(), worker="w1")
+
+
+class TestFleetMergeProperty:
+    """Worker-labeled snapshots have disjoint series, so merging a fleet
+    is order-independent — the property a pull-based rollup needs, since
+    workers push in arbitrary order."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=5
+        ),
+        shuffled=st.randoms(),
+    )
+    def test_merge_is_commutative_over_worker_order(self, counts, shuffled):
+        parts = [
+            label_snapshot(
+                registry_snapshot(counter=count, gauge=index, observations=(0.05,)),
+                worker=f"w{index}",
+            )
+            for index, count in enumerate(counts)
+        ]
+        reference = merge_snapshots(parts)
+        reordered = list(parts)
+        shuffled.shuffle(reordered)
+        assert merge_snapshots(reordered) == reference
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        counts=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=6
+        ),
+        split=st.integers(min_value=1, max_value=5),
+    )
+    def test_merge_is_associative(self, counts, split):
+        parts = [
+            label_snapshot(registry_snapshot(counter=count), worker=f"w{index}")
+            for index, count in enumerate(counts)
+        ]
+        split = min(split, len(parts) - 1)
+        left_first = merge_snapshots([merge_snapshots(parts[:split])] + parts[split:])
+        right_first = merge_snapshots(parts[:split] + [merge_snapshots(parts[split:])])
+        assert left_first == right_first == merge_snapshots(parts)
+
+
+class TestRendering:
+    def test_snapshot_render_matches_live_registry_render(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "Jobs.", labelnames=("status",)).inc(
+            2, status="done"
+        )
+        registry.gauge("repro_depth", 'Depth "quoted"\nnewline.').set(7)
+        histogram = registry.histogram(
+            "repro_wait_seconds", "Wait.", buckets=(0.1, 1.0), labelnames=("stage",)
+        )
+        histogram.observe(0.05, exemplar="abc123", stage="claim")
+        histogram.observe(3.0, stage="claim")
+        assert (
+            render_snapshot_prometheus(registry.snapshot())
+            == registry.render_prometheus()
+        )
+
+    def test_exemplar_suffix_in_rendered_buckets(self):
+        text = render_snapshot_prometheus(
+            registry_snapshot(observations=(0.05,), exemplar="tr1")
+        )
+        assert '# {trace_id="tr1"} 0.05' in text
+
+
+class TestFilterSnapshot:
+    def test_filters_by_family_name(self):
+        filtered = filter_snapshot(registry_snapshot(counter=1, gauge=1), "jobs_total")
+        assert set(filtered) == {"repro_jobs_total"}
+
+    def test_filters_by_rendered_labels(self):
+        labeled = label_snapshot(registry_snapshot(counter=1), worker="w1")
+        assert filter_snapshot(labeled, 'worker="w1"')
+        assert not filter_snapshot(labeled, 'worker="w2"')
+
+    def test_drops_empty_families(self):
+        filtered = filter_snapshot(registry_snapshot(counter=1), "no-such-metric")
+        assert filtered == {}
+
+
+class TestValidateSnapshot:
+    @pytest.mark.parametrize("bad", [
+        None, "text", 7, {"name": "not-a-family"},
+        {"name": {"series": "not-a-list"}},
+        {"name": {"series": [{"labels": "not-a-dict"}]}},
+    ])
+    def test_rejects_malformed_shapes(self, bad):
+        with pytest.raises(RollupError):
+            validate_snapshot(bad)
+
+    def test_accepts_a_real_snapshot(self):
+        snapshot = registry_snapshot(counter=1, gauge=2, observations=(0.5,))
+        assert validate_snapshot(snapshot) is snapshot
+
+
+class TestRollupStore:
+    def test_push_is_last_write_wins_per_worker(self):
+        store = RollupStore(ttl=60.0)
+        store.push("w1", registry_snapshot(counter=2), label="one")
+        store.push("w1", registry_snapshot(counter=5), label="one")
+        fleet = store.fleet_snapshot()
+        assert fleet["repro_jobs_total"]["series"][0]["value"] == 5.0
+        assert store.workers()[0]["pushes"] == 2
+
+    def test_fleet_snapshot_labels_and_sums_across_workers(self):
+        store = RollupStore(ttl=60.0)
+        store.push("w1", registry_snapshot(counter=2), label="one")
+        store.push("w2", registry_snapshot(counter=3), label="two")
+        series = store.fleet_snapshot()["repro_jobs_total"]["series"]
+        by_worker = {entry["labels"]["worker"]: entry["value"] for entry in series}
+        assert by_worker == {"one": 2.0, "two": 3.0}
+
+    def test_local_snapshot_folds_in_under_its_own_label(self):
+        store = RollupStore(ttl=60.0)
+        store.push("w1", registry_snapshot(counter=2), label="one")
+        fleet = store.fleet_snapshot(local=registry_snapshot(counter=9))
+        by_worker = {
+            entry["labels"]["worker"]: entry["value"]
+            for entry in fleet["repro_jobs_total"]["series"]
+        }
+        assert by_worker == {"_server": 9.0, "one": 2.0}
+
+    def test_stale_workers_are_evicted(self):
+        store = RollupStore(ttl=0.05)
+        store.push("w1", registry_snapshot(counter=2))
+        time.sleep(0.08)
+        store.push("w2", registry_snapshot(counter=3), label="fresh")
+        fleet = store.fleet_snapshot()
+        workers = {entry["labels"]["worker"] for entry in fleet["repro_jobs_total"]["series"]}
+        assert workers == {"fresh"}
+        assert [entry["worker"] for entry in store.workers()] == ["w2"]
+
+    def test_drop_forgets_a_worker(self):
+        store = RollupStore(ttl=60.0)
+        store.push("w1", registry_snapshot(counter=2))
+        assert store.drop("w1") is True
+        assert store.drop("w1") is False
+        assert store.fleet_snapshot() == {}
+
+    def test_push_validates(self):
+        store = RollupStore(ttl=60.0)
+        with pytest.raises(RollupError):
+            store.push("w1", "garbage")
+        with pytest.raises(RollupError):
+            store.push("", registry_snapshot())
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(RollupError):
+            RollupStore(ttl=0.0)

@@ -9,7 +9,14 @@ error status capture and the JSONL writer's line format.
 import json
 import threading
 
-from repro.obs.trace import TRACE_HEADER, Span, SpanContext, TraceWriter, Tracer
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    SpanContext,
+    TraceWriter,
+    Tracer,
+    current_trace_id,
+)
 
 
 class TestSpanContext:
@@ -140,6 +147,46 @@ class TestTraceWriter:
         assert len(lines) == 8 * 50 == writer.written
         for line in lines:
             json.loads(line)  # every line is one complete JSON object
+
+
+class TestCurrentTraceId:
+    def test_published_only_inside_writer_backed_spans(self, tmp_path):
+        assert current_trace_id() is None
+        tracer = Tracer(writer=TraceWriter(tmp_path / "trace.jsonl"))
+        with tracer.span("loud") as span:
+            assert current_trace_id() == span.trace_id
+            with tracer.span("nested"):
+                assert current_trace_id() == span.trace_id
+            assert current_trace_id() == span.trace_id
+        assert current_trace_id() is None
+
+    def test_writer_less_tracers_stay_silent(self):
+        # A tracer without a writer records nothing on disk, so its
+        # trace ids would be dangling exemplars — they are not exposed.
+        with Tracer().span("quiet"):
+            assert current_trace_id() is None
+
+    def test_is_thread_local(self, tmp_path):
+        tracer = Tracer(writer=TraceWriter(tmp_path / "trace.jsonl"))
+        seen = {}
+
+        def probe():
+            seen["trace"] = current_trace_id()
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["trace"] is None
+
+    def test_survives_an_error_exit(self, tmp_path):
+        tracer = Tracer(writer=TraceWriter(tmp_path / "trace.jsonl"))
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace_id() is None
 
 
 class TestSpanPayload:

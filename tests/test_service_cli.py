@@ -179,6 +179,87 @@ class TestServeCommand:
         assert main(["serve", "--port", "0", "--lease-ttl", "0"]) == 2
         assert "lease_ttl" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("spec", ["nope", "1:2:3", "3:2", "-1:4", "0:0"])
+    def test_bad_autoscale_spec_exits_2(self, spec, capsys):
+        # --autoscale=SPEC: negative bounds would otherwise parse as flags.
+        assert main(["serve", "--port", "0", f"--autoscale={spec}"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot start service" in err and "autoscale" in err
+
+
+class TestMetricsCommand:
+    def run_a_job(self, server, tmp_path):
+        assert main([
+            "submit", str(write_plan(tmp_path)), "--url", server.url, "--watch",
+        ]) == 0
+
+    def test_plain_verb_is_a_byte_identical_passthrough(self, tmp_path, capsys):
+        from repro.service import ServiceClient
+
+        with ReproServer(profile_store=tmp_path / "profiles.jsonl") as server:
+            self.run_a_job(server, tmp_path)
+            raw = ServiceClient(server.url).metrics_text()
+            assert main(["metrics", "--url", server.url]) == 0
+        output = capsys.readouterr().out
+        # CI diffs this against curl: the verb must not re-render.
+        assert raw in output and "repro_jobs_finished_total" in raw
+
+    def test_grep_filters_families_and_series(self, tmp_path, capsys):
+        with ReproServer(profile_store=tmp_path / "profiles.jsonl") as server:
+            self.run_a_job(server, tmp_path)
+            assert main([
+                "metrics", "--url", server.url, "--grep", "jobs_finished",
+            ]) == 0
+        output = capsys.readouterr().out
+        assert "repro_jobs_finished_total" in output
+        assert "repro_store_" not in output
+
+    def test_bad_grep_pattern_exits_2(self, tmp_path, capsys):
+        with ReproServer() as server:
+            assert main([
+                "metrics", "--url", server.url, "--grep", "[unclosed",
+            ]) == 2
+        assert "bad --grep pattern" in capsys.readouterr().err
+
+    def test_json_to_stdout_and_to_a_file(self, tmp_path, capsys):
+        import json as json_module
+
+        with ReproServer(profile_store=tmp_path / "profiles.jsonl") as server:
+            self.run_a_job(server, tmp_path)
+            capsys.readouterr()
+            assert main(["metrics", "--url", server.url, "--json"]) == 0
+            snapshot = json_module.loads(capsys.readouterr().out)
+            assert "repro_jobs_finished_total" in snapshot
+            path = tmp_path / "metrics.json"
+            assert main([
+                "metrics", "--url", server.url, "--json", str(path),
+                "--grep", "jobs_finished",
+            ]) == 0
+            assert "wrote" in capsys.readouterr().out
+            saved = json_module.loads(path.read_text())
+            assert set(saved) == {"repro_jobs_finished_total"}
+
+    def test_fleet_scrape_carries_worker_labels(self, tmp_path, capsys):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service import ServiceClient
+
+        with ReproServer() as server:
+            registry = MetricsRegistry()
+            registry.counter("repro_fleet_worker_completed_total", "C.").inc(4)
+            ServiceClient(server.url).push_worker_metrics(
+                "w1", registry.snapshot(), label="pushed-worker"
+            )
+            assert main([
+                "metrics", "--url", server.url, "--fleet",
+                "--grep", "fleet_worker_completed",
+            ]) == 0
+        output = capsys.readouterr().out
+        assert 'repro_fleet_worker_completed_total{worker="pushed-worker"} 4' in output
+
+    def test_unreachable_service_exits_2(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:1", "--grep", "x"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
 
 class TestWorkerCommand:
     def test_worker_drains_a_remote_job_and_exits(self, tmp_path, capsys):

@@ -192,6 +192,116 @@ class TestResumeAfterRestart:
             ]
 
 
+class TestFleetMetricsRollup:
+    def make_snapshot(self, completed: float):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_fleet_worker_completed_total", "Completed."
+        ).inc(completed)
+        return registry.snapshot()
+
+    def test_push_then_fleet_scrape_merges_under_worker_labels(self, client):
+        client.push_worker_metrics("w1", self.make_snapshot(2), label="one")
+        client.push_worker_metrics("w2", self.make_snapshot(3), label="two")
+        fleet = client.fleet_metrics()
+        series = fleet["repro_fleet_worker_completed_total"]["series"]
+        by_worker = {
+            entry["labels"]["worker"]: entry["value"] for entry in series
+        }
+        # Earlier in-process fleet tests may have moved the same counter
+        # in the process-global default registry (shown as _server), so
+        # only pin down the two pushed workers.
+        assert by_worker["one"] == 2.0
+        assert by_worker["two"] == 3.0
+        # The text exposition serves the same merged counters.
+        text = client.fleet_metrics_text()
+        assert 'repro_fleet_worker_completed_total{worker="one"} 2\n' in text
+        assert 'repro_fleet_worker_completed_total{worker="two"} 3\n' in text
+
+    def test_fleet_scrape_includes_the_server_under_its_own_label(self, client):
+        client.health()  # move at least one server-side counter
+        fleet = client.fleet_metrics()
+        workers = {
+            entry["labels"].get("worker")
+            for family in fleet.values()
+            for entry in family["series"]
+        }
+        assert "_server" in workers
+
+    def test_garbage_snapshot_is_400_not_500(self, client, server):
+        for bad in (b'"not a dict"', b'{"snapshot": "garbage"}',
+                    b'{"snapshot": {"m": {"series": "x"}}}'):
+            request = urllib.request.Request(
+                f"{server.url}/v1/workers/w1/metrics", data=bad,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_real_worker_counters_survive_worker_exit(self, tmp_path):
+        """Acceptance: the rollup remembers counters of exited workers."""
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.service.fleet.worker import run_worker
+
+        plan = Plan()
+        plan.sweep(TARGETS[0], LAYER, sweep_step=8)
+        with ReproServer(
+            profile_store=tmp_path / "profiles.jsonl", executor="remote",
+        ) as running:
+            client = ServiceClient(running.url)
+            job = client.submit(plan)
+            # A private registry keeps the pushed snapshot hermetic — the
+            # process-global default registry accumulates across tests.
+            completed = run_worker(
+                running.url, name="push-worker", poll=0.2, max_leases=1,
+                registry=MetricsRegistry(),
+            )
+            assert completed == 1
+            assert client.wait(job["id"], timeout=60.0)["status"] == "succeeded"
+            fleet = client.fleet_metrics()
+            series = fleet["repro_fleet_worker_completed_total"]["series"]
+            by_worker = {
+                entry["labels"]["worker"]: entry["value"] for entry in series
+            }
+            assert by_worker["push-worker"] == 1.0
+            assert client.fleet()["lifetime"]["completed"] == 1
+
+
+class TestTraceHeaderHardening:
+    @pytest.mark.parametrize("header", [
+        "total garbage", "a/b/c", "UPPER/case", "zz!!/1234", "x" * 4096,
+    ])
+    def test_garbage_trace_header_is_ignored_not_500(self, client, server, header):
+        plan = Plan()
+        plan.sweep(TARGETS[0], LAYER, sweep_step=8)
+        body = json.dumps({"plan": json.loads(plan.to_json())}).encode()
+        request = urllib.request.Request(
+            f"{server.url}/v1/plans", data=body,
+            headers={"Content-Type": "application/json", "X-Repro-Trace": header},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            job = json.loads(response.read())
+            assert response.status in (200, 202)
+        # The job still runs to completion: the bad context was dropped.
+        assert client.wait(job["id"], timeout=120.0)["status"] == "succeeded"
+
+
+class TestFleetStatusQuantiles:
+    def test_fresh_fleet_reports_null_claim_wait_percentiles(self, client):
+        """Regression: before any claim the p50/p95 must be null, not a
+        quantile of some other server's process-global histogram."""
+
+        autoscaling = client.fleet()["autoscaling"]
+        assert autoscaling["claim_wait_p50_s"] is None
+        assert autoscaling["claim_wait_p95_s"] is None
+        assert autoscaling["pending_leases"] == 0
+
+
 class TestConcurrencyAndCancel:
     def test_concurrent_submissions_from_two_client_threads(self, server):
         plans = {
