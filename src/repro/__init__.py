@@ -52,7 +52,7 @@ from .libraries import get_library
 from .models import build_model
 from .profiling import ProfileRunner
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "GpuSimulator",

@@ -184,11 +184,12 @@ class Session:
         unbounded cache explicitly.
     store:
         Optional persistent profile store — a
-        :class:`~repro.profiling.store.ProfileStore` or a path to its
-        JSON-lines file.  Measurements are read from the store before
-        touching the simulator and written back after fresh sweeps, so
-        repeated processes (e.g. CLI invocations with
-        ``--profile-store``) reuse each other's profiles.
+        :class:`~repro.profiling.store.ProfileStore` or a path to one:
+        either a legacy flat JSON-lines file or a sharded store
+        directory (the layout is auto-detected).  Measurements are read
+        from the store before touching the simulator and written back
+        after fresh sweeps, so repeated processes (e.g. CLI invocations
+        with ``--profile-store``) reuse each other's profiles.
     seed:
         Measurement-noise stream seed, ``0`` by default (the historical
         stream).  Two sessions built with the same seed reproduce

@@ -80,7 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "'targets', 'run-plan PLAN.json [...]', 'serve', "
             "'submit PLAN.json', 'worker', 'metrics', "
             "'trace {ls|show TRACE_ID}', "
-            "'store {compact|stats} PATH', or 'lint [PATHS]'"
+            "'store {compact|stats|init} PATH', or 'lint [PATHS]'"
         ),
     )
     parser.add_argument(
@@ -103,8 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile-store",
         metavar="PATH",
         help=(
-            "persist layer measurements to a JSON-lines file and reuse them "
-            "across invocations (a repeated experiment re-simulates nothing)"
+            "persist layer measurements to a profile store — a flat "
+            "JSON-lines file or a sharded store directory ('store init' "
+            "creates one; layout is auto-detected) — and reuse them across "
+            "invocations (a repeated experiment re-simulates nothing)"
         ),
     )
     parser.add_argument(
@@ -262,6 +264,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "run-plan/serve/worker: append span records (one JSON object "
             "per line) to this flock-safe trace file; tracing is inert — "
             "traced runs are bitwise identical to untraced ones"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        action="store_true",
+        help=(
+            "store compact: migrate a legacy flat-file store into the "
+            "sharded directory layout (one JSONL shard per device/library "
+            "pair); no-op on stores that are already sharded"
         ),
     )
     parser.add_argument(
@@ -727,15 +738,28 @@ def trace_command(rest: List[str], args: argparse.Namespace) -> int:
 
 
 def store_command(rest: List[str], args: argparse.Namespace) -> int:
-    """Profile-store maintenance: ``store {compact|stats} PATH``."""
+    """Profile-store maintenance: ``store {compact|stats|init} PATH``."""
 
     from ..profiling.store import ProfileStore, ProfileStoreError
 
-    if len(rest) != 2 or rest[0] not in ("compact", "stats"):
-        print("usage: repro-experiments store {compact|stats} PATH", file=sys.stderr)
+    if len(rest) != 2 or rest[0] not in ("compact", "stats", "init"):
+        print(
+            "usage: repro-experiments store {compact|stats|init} PATH [--shard]",
+            file=sys.stderr,
+        )
         return 2
     action, path_text = rest
     path = Path(path_text)
+
+    if action == "init":
+        try:
+            ProfileStore(path, layout="sharded")
+        except ProfileStoreError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"initialized sharded profile store {path}")
+        return 0
+
     if not path.exists():
         print(f"profile store not found: {path}", file=sys.stderr)
         return 2
@@ -748,6 +772,7 @@ def store_command(rest: List[str], args: argparse.Namespace) -> int:
     if action == "stats":
         stats = store.file_stats()
         print(f"profile store {path}")
+        print(f"  layout:       {stats['layout']}")
         print(f"  size:         {stats['bytes']} bytes in {stats['lines']} line(s)")
         print(f"  entries:      {stats['entries']} distinct configuration(s)")
         print(f"  measurements: {stats['measurements']} recorded (duplicates included)")
@@ -758,11 +783,24 @@ def store_command(rest: List[str], args: argparse.Namespace) -> int:
                 f"  target {target}: {per_target['entries']} entr(y/ies), "
                 f"{per_target['measurements']} measurement(s)"
             )
+        if stats["layout"] == "sharded":
+            for shard in sorted(stats["shards"]):
+                per_shard = stats["shards"][shard]
+                print(
+                    f"  shard {shard}: {per_shard['entries']} entr(y/ies), "
+                    f"{per_shard['measurements']} measurement(s), "
+                    f"{per_shard['bytes']} bytes"
+                )
         return 0
 
     before = store.file_stats()
-    dropped = store.compact()
+    dropped = store.compact(shard=args.shard)
     after = store.file_stats()
+    if before["layout"] == "flat" and after["layout"] == "sharded":
+        print(
+            f"migrated {path} to the sharded layout: "
+            f"{len(after['shards'])} shard(s)"
+        )
     print(
         f"compacted {path}: dropped {dropped} duplicate/unreadable entr(y/ies), "
         f"{before['bytes']} -> {after['bytes']} bytes, "

@@ -4,11 +4,53 @@ Every profile used to die with the Python process, so each CLI
 invocation and every experiment script re-simulated thousands of
 (device, library, layer, channel count) configurations from scratch.
 :class:`ProfileStore` persists :class:`~repro.profiling.runner.Measurement`
-records to a JSON-lines file so that repeated invocations reuse them:
+records to JSON-lines files so that repeated invocations reuse them:
 a :class:`~repro.api.Session` built with ``store=PATH`` (or the
 ``repro-experiments --profile-store PATH`` flag) reads existing
 measurements before touching the simulator and appends whatever it had
 to measure fresh.
+
+Layouts
+-------
+The store speaks two on-disk layouts behind one class:
+
+* **flat** (legacy) — ``PATH`` is a single append-only JSONL file.
+  Every store created before sharding landed is a flat store, and a
+  bare file path keeps working unchanged: it is treated as one
+  ``legacy`` shard.
+* **sharded** — ``PATH`` is a *directory* holding one JSONL shard per
+  ``(device, library)`` pair plus a ``_store.json`` marker::
+
+      PATH/
+        _store.json                      # {"layout": "sharded", ...}
+        mali-g72__acl-gemm--5f0c1a2b.jsonl
+        jetson-tx2__cudnn--91d24c03.jsonl
+
+  Shard file names are ``slug(device)__slug(library)--digest8.jsonl``;
+  the digest keys the exact ``(device, library)`` pair so two targets
+  whose slugs collide still get distinct shards.  A directory is only
+  accepted as a store when the marker is present (or when an *empty*
+  directory is opened with ``layout="sharded"``), so arbitrary
+  directories are still rejected loudly.
+
+Sharding is what keeps the store usable at millions of entries: the
+in-memory read-through tier loads **one shard per first touch** of a
+``(device, library)`` target instead of parsing the whole store under
+the global lock, appends land on the shard's own file (writers on
+different targets no longer contend on one ``flock``/inode), and
+``compact()`` rewrites each shard independently.
+
+Migration
+---------
+``compact(shard=True)`` on a flat store is the migration hook: it reads
+every record under the advisory lock, deduplicates with last-writer-wins
+semantics, writes the sharded layout into a temporary directory next to
+the store and swaps it into place, so ``PATH`` atomically *becomes* the
+store directory.  Concurrent appenders blocked on the legacy file's
+lock re-check the inode when they wake, notice the marker and re-route
+their append to the proper shard — no record is lost across the
+migration.  (The swap itself is two adjacent renames; a crash exactly
+between them leaves the data intact in the temporary directory.)
 
 File format
 -----------
@@ -41,11 +83,25 @@ updates or torn counters.  Across processes:
 
 Appends happen as a single :func:`write` of the whole line under an
 advisory ``flock`` (where the platform provides one), so two processes
-recording into the same store cannot interleave partial lines.  Reads
-never lock: a torn or foreign line is simply skipped.  Later records of
-the same configuration supersede earlier ones on load (last wins);
-:meth:`compact` rewrites the file atomically with one line per group,
+recording into the same shard cannot interleave partial lines.  After
+acquiring the lock — and on platforms *without* ``flock`` too — the
+handle's inode is re-checked against the path, closing the window where
+a concurrent :meth:`compact`'s :func:`os.replace` orphaned the open
+file and a write there would be silently lost.  Reads never lock: a
+torn or foreign line is simply skipped.  Later records of the same
+configuration supersede earlier ones on load (last wins);
+:meth:`compact` rewrites each shard atomically with one line per group,
 dropping superseded duplicates.
+
+Observability
+-------------
+The module-level metrics (``repro_store_appends_total``,
+``repro_store_reloads_total``, ``repro_store_compactions_total`` and
+the ``repro_store_file_bytes`` gauge) are labeled by ``store`` (the
+store path) and ``shard``, so several store objects in one process —
+the service's per-job sessions, autoscaled worker stores, parallel
+tests — report into distinct series instead of clobbering one
+process-wide value.
 """
 
 from __future__ import annotations
@@ -53,6 +109,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import shutil
 import tempfile
 import threading
 from pathlib import Path
@@ -69,26 +127,42 @@ from .runner import Measurement
 
 _STORE_APPENDS = default_registry().counter(
     "repro_store_appends_total",
-    "Sweep records appended to a profile store file.",
+    "Sweep records appended to a profile store shard.",
+    labelnames=("store", "shard"),
 )
 _STORE_RELOADS = default_registry().counter(
     "repro_store_reloads_total",
-    "Full store-file loads into the in-memory index.",
+    "Shard loads into a store's in-memory read-through index.",
+    labelnames=("store", "shard"),
 )
 _STORE_COMPACTIONS = default_registry().counter(
     "repro_store_compactions_total",
-    "Atomic compact() rewrites of a profile store file.",
+    "Atomic compact() rewrites of a profile store shard.",
+    labelnames=("store", "shard"),
 )
 _STORE_FILE_BYTES = default_registry().gauge(
     "repro_store_file_bytes",
-    "Size of the profile store file after the most recent append/compact.",
+    "Size of a profile store shard after the most recent append/compact.",
+    labelnames=("store", "shard"),
 )
 
 #: Bump whenever the measurement model changes (simulator cost formulas,
 #: noise model, Measurement schema): old lines are skipped on load.
 STORE_VERSION = 1
 
+#: Marker file distinguishing a sharded store directory from an
+#: arbitrary directory (which is still rejected).
+STORE_MARKER = "_store.json"
+
+#: Shard id of a flat (legacy, single-file) store.
+LEGACY_SHARD = "legacy"
+
+#: Accepted ``layout`` arguments to :class:`ProfileStore`.
+STORE_LAYOUTS = ("auto", "flat", "sharded")
+
 _GroupKey = Tuple[str, str, int, int, str]
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
 
 class ProfileStoreError(ValueError):
@@ -108,27 +182,133 @@ def layer_spec_fingerprint(spec: ConvLayerSpec) -> str:
     return hashlib.sha256(blob).hexdigest()[:16]
 
 
+def shard_id_for(device: str, library: str) -> str:
+    """The shard a ``(device, library)`` pair's records live in.
+
+    Human-readable slugs plus an 8-hex digest of the exact pair, so
+    targets whose slugs collide still map to distinct shards.
+    """
+
+    digest = hashlib.sha256(
+        json.dumps([device, library]).encode("utf-8")
+    ).hexdigest()[:8]
+    device_slug = _SLUG_RE.sub("_", device) or "_"
+    library_slug = _SLUG_RE.sub("_", library) or "_"
+    return f"{device_slug}__{library_slug}--{digest}"
+
+
 class ProfileStore:
     """Append-only JSONL store of measurements, indexed in memory.
 
-    The file is read once, lazily, on first lookup; records appended
-    through :meth:`record` update both the file and the index.  ``hits``
+    ``path`` may point at a legacy flat file (one JSONL file, one
+    ``legacy`` shard) or a sharded store directory; ``layout="auto"``
+    (the default) detects which.  Pass ``layout="sharded"`` to create a
+    new sharded store at a fresh path (the directory and its
+    ``_store.json`` marker are created eagerly).
+
+    Each shard's file is read once, lazily, on the first lookup that
+    touches its ``(device, library)`` target; records appended through
+    :meth:`record` update both the shard file and the index.  ``hits``
     / ``misses`` count per-configuration lookups, ``writes`` counts
     appended measurements.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], layout: str = "auto") -> None:
+        if layout not in STORE_LAYOUTS:
+            raise ProfileStoreError(
+                f"unknown store layout {layout!r} (expected one of {STORE_LAYOUTS})"
+            )
         self.path = Path(path)
-        if self.path.exists() and self.path.is_dir():
-            raise ProfileStoreError(f"profile store path {self.path} is a directory")
-        self._index: Optional[Dict[_GroupKey, Dict[int, Measurement]]] = None
+        self._layout = self._resolve_layout(layout)
+        self._store_label = str(self.path)
+        #: shard id -> group key -> out_channels -> Measurement, loaded
+        #: lazily one shard at a time.
+        self._indexes: Dict[str, Dict[_GroupKey, Dict[int, Measurement]]] = {}
+        #: Running count of entries across *loaded* shards, so ``len``
+        #: and ``stats()`` are O(1) instead of a full-index scan.
+        self._entry_count = 0
+        self._all_loaded = False
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.skipped_lines = 0
-        # Guards the in-memory index and the counters against concurrent
-        # scheduler threads; the file itself is flock-guarded separately.
+        # Guards the in-memory indexes and the counters against
+        # concurrent scheduler threads; the shard files themselves are
+        # flock-guarded separately.
         self._lock = threading.RLock()
+        if self._layout == "sharded":
+            self._ensure_sharded_dir()
+
+    # ------------------------------------------------------------------
+    # Layout resolution
+    # ------------------------------------------------------------------
+    def _resolve_layout(self, requested: str) -> str:
+        if self.path.exists():
+            if self.path.is_dir():
+                if (self.path / STORE_MARKER).exists():
+                    return "sharded"
+                if requested == "sharded" and not any(self.path.iterdir()):
+                    return "sharded"  # adopt the empty directory
+                raise ProfileStoreError(
+                    f"profile store path {self.path} is a directory "
+                    f"(not a sharded store: no {STORE_MARKER} marker)"
+                )
+            if requested == "sharded":
+                raise ProfileStoreError(
+                    f"profile store path {self.path} is a flat file; migrate "
+                    f"it with compact(shard=True) / 'store compact --shard'"
+                )
+            return "flat"
+        return "sharded" if requested == "sharded" else "flat"
+
+    @property
+    def layout(self) -> str:
+        """``"flat"`` (legacy single file) or ``"sharded"`` (directory)."""
+
+        # repro-lint: ignore[RL001] -- atomic str read; rebinding happens
+        # only under the lock in _check_migrated/_migrate_locked.
+        return self._layout
+
+    def _ensure_sharded_dir(self) -> None:
+        """Create the store directory and its marker (idempotent)."""
+
+        self.path.mkdir(parents=True, exist_ok=True)
+        marker = self.path / STORE_MARKER
+        if marker.exists():
+            return
+        payload = json.dumps(
+            {"layout": "sharded", "store_version": STORE_VERSION}, sort_keys=True
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=STORE_MARKER + ".", dir=str(self.path)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as tmp:
+                tmp.write(payload + "\n")
+            os.replace(tmp_name, marker)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _check_migrated(self) -> None:
+        """Adopt the sharded layout if another process migrated the path.
+
+        A concurrent ``compact(shard=True)`` atomically replaces the
+        flat file with a store directory; a flat store object noticing
+        the marker flips itself to sharded mode and drops its indexes
+        (they reload per shard on demand).
+        """
+
+        if self._layout != "flat":
+            return
+        if self.path.is_dir() and (self.path / STORE_MARKER).exists():
+            self._layout = "sharded"
+            self._indexes = {}
+            self._entry_count = 0
+            self._all_loaded = False
 
     # ------------------------------------------------------------------
     # Loading
@@ -156,30 +336,64 @@ class ProfileStore:
             return None
         return key, measurements, payload
 
-    def _load(self) -> Dict[_GroupKey, Dict[int, Measurement]]:
-        with self._lock:
-            if self._index is not None:
-                return self._index
-            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
-            if self.path.exists():
-                with self.path.open("r", encoding="utf-8") as handle:
-                    for line in handle:
-                        parsed = self._parse_line(line)
-                        if parsed is None:
-                            continue
-                        key, measurements, _ = parsed
-                        group = index.setdefault(key, {})
-                        for measurement in measurements:
-                            group[measurement.out_channels] = measurement
-            self._index = index
-            _STORE_RELOADS.inc()
+    def _shard_id(self, device: str, library: str) -> str:
+        if self._layout == "flat":
+            return LEGACY_SHARD
+        return shard_id_for(device, library)
+
+    def _shard_path(self, shard: str) -> Path:
+        if self._layout == "flat":
+            return self.path
+        return self.path / (shard + ".jsonl")
+
+    def _shard_ids_on_disk(self) -> List[str]:
+        if self._layout == "flat":
+            return [LEGACY_SHARD]
+        if not self.path.is_dir():
+            return []
+        return sorted(entry.stem for entry in self.path.glob("*.jsonl"))
+
+    def _load_shard(self, shard: str) -> Dict[_GroupKey, Dict[int, Measurement]]:
+        """The in-memory index of one shard, parsed from disk on first use."""
+
+        index = self._indexes.get(shard)
+        if index is not None:
             return index
+        index = {}
+        path = self._shard_path(shard)
+        if path.exists() and path.is_file():
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    parsed = self._parse_line(line)
+                    if parsed is None:
+                        continue
+                    key, measurements, _ = parsed
+                    group = index.setdefault(key, {})
+                    for measurement in measurements:
+                        group[measurement.out_channels] = measurement
+        self._indexes[shard] = index
+        self._entry_count += sum(len(group) for group in index.values())
+        _STORE_RELOADS.inc(store=self._store_label, shard=shard)
+        return index
+
+    def _load_all(self) -> None:
+        if self._all_loaded:
+            return
+        for shard in self._shard_ids_on_disk():
+            self._load_shard(shard)
+        self._all_loaded = True
 
     def __len__(self) -> int:
-        """Number of stored (configuration -> measurement) entries."""
+        """Number of stored (configuration -> measurement) entries.
+
+        O(1) after the first call: a running count is maintained on
+        load, record and compaction instead of re-summing every group.
+        """
 
         with self._lock:
-            return sum(len(group) for group in self._load().values())
+            self._check_migrated()
+            self._load_all()
+            return self._entry_count
 
     # ------------------------------------------------------------------
     # Lookup and record
@@ -199,10 +413,17 @@ class ProfileStore:
         channel_counts: Sequence[int],
         seed: int = 0,
     ) -> Tuple[Dict[int, Measurement], List[int]]:
-        """Split a sweep into (stored measurements, counts still to measure)."""
+        """Split a sweep into (stored measurements, counts still to measure).
+
+        Only the ``(device, library)`` shard is loaded — a cold
+        single-target lookup against a million-entry sharded store
+        parses one shard, not the whole store.
+        """
 
         with self._lock:
-            group = self._load().get(self._key(device, library, runs, spec, seed), {})
+            self._check_migrated()
+            index = self._load_shard(self._shard_id(device, library))
+            group = index.get(self._key(device, library, runs, spec, seed), {})
             found: Dict[int, Measurement] = {}
             missing: List[int] = []
             for count in channel_counts:
@@ -224,11 +445,12 @@ class ProfileStore:
         measurements: Iterable[Measurement],
         seed: int = 0,
     ) -> None:
-        """Append one measured sweep to the store file and the index.
+        """Append one measured sweep to its shard file and the index.
 
         The whole record is written as a single line in one ``write``
         call under an advisory lock, so concurrent writers sharing the
-        file cannot interleave partial lines.
+        shard cannot interleave partial lines.  Writers on different
+        targets append to different shard files and never contend.
         """
 
         measurements = list(measurements)
@@ -248,37 +470,67 @@ class ProfileStore:
         }
         line = json.dumps(payload) + "\n"
         with self._lock:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            handle = self._open_locked_for_append()
+            self._check_migrated()
+            while True:
+                shard = self._shard_id(device, library)
+                if self._layout == "sharded":
+                    self._ensure_sharded_dir()
+                else:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    handle = self._open_locked_for_append(self._shard_path(shard))
+                except IsADirectoryError:
+                    # A concurrent compact(shard=True) turned the flat
+                    # file into a store directory while we waited; adopt
+                    # the new layout and re-route to the proper shard.
+                    self._check_migrated()
+                    if self._layout == "flat":
+                        raise ProfileStoreError(
+                            f"profile store path {self.path} is a directory"
+                        ) from None
+                    continue
+                break
             try:
                 handle.write(line)
                 handle.flush()
-                _STORE_FILE_BYTES.set(handle.tell())
+                _STORE_FILE_BYTES.set(
+                    handle.tell(), store=self._store_label, shard=shard
+                )
             finally:
                 self._unlock_and_close(handle)
-            _STORE_APPENDS.inc()
-            group = self._load().setdefault(key, {})
+            _STORE_APPENDS.inc(store=self._store_label, shard=shard)
+            group = self._load_shard(shard).setdefault(key, {})
             for measurement in measurements:
+                if measurement.out_channels not in group:
+                    self._entry_count += 1
                 group[measurement.out_channels] = measurement
             self.writes += len(measurements)
 
-    def _open_locked_for_append(self):
-        """Open the store for appending under an advisory exclusive lock.
+    def _open_append(self, path: Path):
+        """Open one shard for appending (a seam the race tests hook)."""
+
+        return path.open("a", encoding="utf-8")
+
+    def _open_locked_for_append(self, path: Path):
+        """Open a shard for appending under an advisory exclusive lock.
 
         After acquiring the lock the handle's inode is re-checked
         against the path: a concurrent :meth:`compact` may have
         :func:`os.replace`'d the file while this writer was blocked, in
         which case the lock was won on the orphaned old inode and a
-        write there would be lost.  On mismatch, reopen and retry.
+        write there would be lost.  On mismatch, reopen and retry.  The
+        re-check runs even where ``fcntl`` is unavailable: without it
+        the window between open and write is merely narrowed, not
+        closed, but an append can no longer land on a file that was
+        already orphaned when the handle was opened.
         """
 
         while True:
-            handle = self.path.open("a", encoding="utf-8")
-            if fcntl is None:
-                return handle
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            handle = self._open_append(path)
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             try:
-                current = os.stat(self.path)
+                current = os.stat(path)
             except FileNotFoundError:
                 fresh = False
             else:
@@ -297,57 +549,94 @@ class ProfileStore:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    def compact(self) -> int:
+    def compact(self, shard: Optional[bool] = None) -> int:
         """Rewrite the store with one line per group, dropping duplicates.
 
-        The file is re-read from disk under the advisory lock (picking
-        up records appended by other processes since this store's lazy
-        load), deduplicated with last-writer-wins semantics, written to
-        a temporary file in the same directory and atomically swapped in
-        with :func:`os.replace`.  Returns the number of superseded or
-        unreadable measurement entries dropped.
+        Each shard file is re-read from disk under the advisory lock
+        (picking up records appended by other processes since this
+        store's lazy load), deduplicated with last-writer-wins
+        semantics, written to a temporary file in the same directory
+        and atomically swapped in with :func:`os.replace`.  Returns the
+        number of superseded or unreadable measurement entries dropped.
+
+        ``shard=True`` on a **flat** store is the migration hook: the
+        legacy file is compacted *into the sharded layout* — ``path``
+        atomically becomes a store directory with one shard per
+        ``(device, library)`` — preserving every live entry.  On a
+        store that is already sharded, ``shard=True`` is a no-op flag
+        and the call compacts normally.
         """
 
         with self._lock:
-            return self._compact_locked()
+            self._check_migrated()
+            if self._layout == "sharded":
+                dropped = 0
+                for shard_id in self._shard_ids_on_disk():
+                    dropped += self._compact_shard_locked(shard_id)
+                self._all_loaded = True
+                self._recount_locked()
+                return dropped
+            if shard:
+                return self._migrate_locked()
+            dropped = self._compact_shard_locked(LEGACY_SHARD)
+            self._all_loaded = True
+            self._recount_locked()
+            return dropped
 
-    def _compact_locked(self) -> int:
-        if not self.path.exists():
-            self._index = {}
+    def _recount_locked(self) -> None:
+        self._entry_count = sum(
+            len(group)
+            for index in self._indexes.values()
+            for group in index.values()
+        )
+
+    def _read_groups_locked(
+        self, path: Path
+    ) -> Tuple[Dict[_GroupKey, Dict[int, Measurement]], Dict[_GroupKey, dict], int]:
+        """Parse one shard file into (index, last payload per key, raw entries)."""
+
+        index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+        payloads: Dict[_GroupKey, dict] = {}
+        total_entries = 0
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    total_entries += 1  # count unreadable lines too
+                parsed = self._parse_line(line)
+                if parsed is None:
+                    continue
+                key, measurements, payload = parsed
+                total_entries += len(measurements) - 1
+                group = index.setdefault(key, {})
+                for measurement in measurements:
+                    group[measurement.out_channels] = measurement
+                payloads[key] = payload
+        return index, payloads, total_entries
+
+    @staticmethod
+    def _group_line(payload: dict, group: Dict[int, Measurement]) -> str:
+        merged = dict(payload)
+        counts = sorted(group)
+        merged["sweep"] = counts
+        merged["measurements"] = [group[count].as_dict() for count in counts]
+        return json.dumps(merged) + "\n"
+
+    def _compact_shard_locked(self, shard: str) -> int:
+        path = self._shard_path(shard)
+        if not path.exists():
+            self._indexes[shard] = {}
             return 0
-        lock_handle = self._open_locked_for_append()
+        lock_handle = self._open_locked_for_append(path)
         try:
-            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
-            payloads: Dict[_GroupKey, dict] = {}
-            total_entries = 0
-            with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    if line.strip():
-                        total_entries += 1  # count unreadable lines too
-                    parsed = self._parse_line(line)
-                    if parsed is None:
-                        continue
-                    key, measurements, payload = parsed
-                    total_entries += len(measurements) - 1
-                    group = index.setdefault(key, {})
-                    for measurement in measurements:
-                        group[measurement.out_channels] = measurement
-                    payloads[key] = payload
+            index, payloads, total_entries = self._read_groups_locked(path)
             fd, tmp_name = tempfile.mkstemp(
-                prefix=self.path.name + ".", suffix=".compact",
-                dir=str(self.path.parent),
+                prefix=path.name + ".", suffix=".compact", dir=str(path.parent),
             )
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as tmp:
                     for key, group in index.items():
-                        payload = dict(payloads[key])
-                        counts = sorted(group)
-                        payload["sweep"] = counts
-                        payload["measurements"] = [
-                            group[count].as_dict() for count in counts
-                        ]
-                        tmp.write(json.dumps(payload) + "\n")
-                os.replace(tmp_name, self.path)
+                        tmp.write(self._group_line(payloads[key], group))
+                os.replace(tmp_name, path)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -356,70 +645,155 @@ class ProfileStore:
                 raise
         finally:
             self._unlock_and_close(lock_handle)
-        self._index = index
-        _STORE_COMPACTIONS.inc()
-        _STORE_FILE_BYTES.set(self.path.stat().st_size)
+        self._indexes[shard] = index
+        _STORE_COMPACTIONS.inc(store=self._store_label, shard=shard)
+        _STORE_FILE_BYTES.set(
+            path.stat().st_size, store=self._store_label, shard=shard
+        )
         kept = sum(len(group) for group in index.values())
         return total_entries - kept
 
-    def file_stats(self) -> Dict[str, Any]:
-        """On-disk statistics of the store file, read fresh from disk.
+    def _migrate_locked(self) -> int:
+        """Rewrite a legacy flat file into the sharded layout, in place."""
 
-        Returns ``lines`` (non-empty lines in the file), ``unreadable``
-        (lines skipped as torn/foreign/stale), ``measurements`` (total
-        measurement entries across readable lines, duplicates included),
-        ``entries`` (distinct configurations after last-wins dedup),
-        ``superseded`` (``measurements + unreadable - entries`` — what
-        :meth:`compact` would drop), ``bytes`` (file size) and
-        ``by_target`` — a ``"library@device"``-keyed breakdown of
-        ``entries``/``measurements`` per target, which is how the fleet
-        tests prove each configuration was simulated exactly once
-        (``measurements == entries`` target by target).  The call does
-        not disturb the in-memory index or the hit/miss counters.
+        if not self.path.exists():
+            # Nothing to migrate: adopt the sharded layout at the path.
+            self._layout = "sharded"
+            self._ensure_sharded_dir()
+            self._indexes = {}
+            self._entry_count = 0
+            self._all_loaded = True
+            return 0
+        lock_handle = self._open_locked_for_append(self.path)
+        try:
+            index, payloads, total_entries = self._read_groups_locked(self.path)
+            by_shard: Dict[str, Dict[_GroupKey, Dict[int, Measurement]]] = {}
+            for key, group in index.items():
+                shard = shard_id_for(key[0], key[1])
+                by_shard.setdefault(shard, {})[key] = group
+            tmp_dir = Path(tempfile.mkdtemp(
+                prefix=self.path.name + ".", suffix=".migrate",
+                dir=str(self.path.parent),
+            ))
+            legacy_backup = tmp_dir / "_legacy.migrated"
+            moved = False
+            try:
+                marker = json.dumps(
+                    {"layout": "sharded", "store_version": STORE_VERSION},
+                    sort_keys=True,
+                )
+                (tmp_dir / STORE_MARKER).write_text(marker + "\n", encoding="utf-8")
+                for shard in sorted(by_shard):
+                    with (tmp_dir / (shard + ".jsonl")).open(
+                        "w", encoding="utf-8"
+                    ) as out:
+                        for key, group in by_shard[shard].items():
+                            out.write(self._group_line(payloads[key], group))
+                # The swap: park the legacy file inside the temporary
+                # directory, then rename the directory over the path.
+                # The advisory lock stays held on the legacy inode
+                # throughout, so blocked appenders wake to the marker
+                # and re-route instead of writing into the orphan.
+                os.replace(self.path, legacy_backup)
+                moved = True
+                os.rename(tmp_dir, self.path)
+            except BaseException:
+                if moved and not self.path.exists():
+                    os.replace(legacy_backup, self.path)  # roll back
+                shutil.rmtree(tmp_dir, ignore_errors=True)
+                raise
+            (self.path / "_legacy.migrated").unlink()
+        finally:
+            self._unlock_and_close(lock_handle)
+        self._layout = "sharded"
+        self._indexes = by_shard
+        self._all_loaded = True
+        self._recount_locked()
+        for shard in sorted(by_shard):
+            shard_path = self._shard_path(shard)
+            _STORE_COMPACTIONS.inc(store=self._store_label, shard=shard)
+            _STORE_FILE_BYTES.set(
+                shard_path.stat().st_size, store=self._store_label, shard=shard
+            )
+        kept = self._entry_count
+        return total_entries - kept
+
+    def file_stats(self) -> Dict[str, Any]:
+        """On-disk statistics of the store, read fresh from disk.
+
+        Returns ``layout`` (``"flat"``/``"sharded"``), ``lines``
+        (non-empty lines across shard files), ``unreadable`` (lines
+        skipped as torn/foreign/stale), ``measurements`` (total
+        measurement entries across readable lines, duplicates
+        included), ``entries`` (distinct configurations after last-wins
+        dedup), ``superseded`` (``measurements + unreadable - entries``
+        — what :meth:`compact` would drop), ``bytes`` (total shard-file
+        size), ``by_target`` — a ``"library@device"``-keyed breakdown
+        of ``entries``/``measurements`` per target, which is how the
+        fleet tests prove each configuration was simulated exactly once
+        (``measurements == entries`` target by target) — and
+        ``shards``, the same figures keyed per shard file.  The call
+        does not disturb the in-memory index or the hit/miss counters.
         """
 
-        stats: Dict[str, Any] = {
-            "lines": 0, "unreadable": 0, "measurements": 0,
-            "entries": 0, "superseded": 0, "bytes": 0, "by_target": {},
-        }
         with self._lock:
-            if not self.path.exists():
-                return stats
-            stats["bytes"] = self.path.stat().st_size
+            self._check_migrated()
+            stats: Dict[str, Any] = {
+                "layout": self._layout,
+                "lines": 0, "unreadable": 0, "measurements": 0,
+                "entries": 0, "superseded": 0, "bytes": 0,
+                "by_target": {}, "shards": {},
+            }
             skipped_before = self.skipped_lines
-            index: Dict[_GroupKey, Dict[int, Measurement]] = {}
-            with self.path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    if not line.strip():
-                        continue
-                    stats["lines"] += 1
-                    parsed = self._parse_line(line)
-                    if parsed is None:
-                        stats["unreadable"] += 1
-                        continue
-                    key, measurements, _ = parsed
-                    stats["measurements"] += len(measurements)
-                    target = f"{key[1]}@{key[0]}"  # library@device
-                    per_target = stats["by_target"].setdefault(
-                        target, {"entries": 0, "measurements": 0}
-                    )
-                    per_target["measurements"] += len(measurements)
-                    group = index.setdefault(key, {})
-                    for measurement in measurements:
-                        group[measurement.out_channels] = measurement
+            for shard in self._shard_ids_on_disk():
+                path = self._shard_path(shard)
+                if not path.exists() or not path.is_file():
+                    continue
+                per_shard: Dict[str, Any] = {
+                    "file": path.name, "bytes": path.stat().st_size,
+                    "lines": 0, "unreadable": 0, "measurements": 0,
+                    "entries": 0, "superseded": 0,
+                }
+                index: Dict[_GroupKey, Dict[int, Measurement]] = {}
+                with path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if not line.strip():
+                            continue
+                        per_shard["lines"] += 1
+                        parsed = self._parse_line(line)
+                        if parsed is None:
+                            per_shard["unreadable"] += 1
+                            continue
+                        key, measurements, _ = parsed
+                        per_shard["measurements"] += len(measurements)
+                        target = f"{key[1]}@{key[0]}"  # library@device
+                        per_target = stats["by_target"].setdefault(
+                            target, {"entries": 0, "measurements": 0}
+                        )
+                        per_target["measurements"] += len(measurements)
+                        group = index.setdefault(key, {})
+                        for measurement in measurements:
+                            group[measurement.out_channels] = measurement
+                for key in index:
+                    entries = len(index[key])
+                    per_shard["entries"] += entries
+                    stats["by_target"][f"{key[1]}@{key[0]}"]["entries"] += entries
+                per_shard["superseded"] = (
+                    per_shard["measurements"] + per_shard["unreadable"]
+                    - per_shard["entries"]
+                )
+                for figure in ("lines", "unreadable", "measurements",
+                               "entries", "superseded", "bytes"):
+                    stats[figure] += per_shard[figure]
+                stats["shards"][shard] = per_shard
             self.skipped_lines = skipped_before
-        stats["entries"] = sum(len(group) for group in index.values())
-        for key, group in index.items():
-            stats["by_target"][f"{key[1]}@{key[0]}"]["entries"] += len(group)
-        stats["superseded"] = (
-            stats["measurements"] + stats["unreadable"] - stats["entries"]
-        )
-        return stats
+            return stats
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         with self._lock:
             return {
+                "layout": self._layout,
                 "hits": self.hits,
                 "misses": self.misses,
                 "writes": self.writes,
@@ -429,9 +803,19 @@ class ProfileStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"<ProfileStore path={str(self.path)!r} entries={len(self)} "
-            f"hits={self.hits} misses={self.misses} writes={self.writes}>"
+            f"<ProfileStore path={str(self.path)!r} layout={self._layout} "
+            f"entries={len(self)} hits={self.hits} misses={self.misses} "
+            f"writes={self.writes}>"
         )
 
 
-__all__ = ["STORE_VERSION", "ProfileStore", "ProfileStoreError", "layer_spec_fingerprint"]
+__all__ = [
+    "LEGACY_SHARD",
+    "STORE_LAYOUTS",
+    "STORE_MARKER",
+    "STORE_VERSION",
+    "ProfileStore",
+    "ProfileStoreError",
+    "layer_spec_fingerprint",
+    "shard_id_for",
+]

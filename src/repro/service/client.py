@@ -216,6 +216,18 @@ class ServiceClient:
         with self._open("GET", "/v1/metrics") as response:
             return response.read().decode("utf-8")
 
+    def store_stats(self) -> Dict[str, Any]:
+        """On-disk statistics of the server's profile store (``GET /v1/store``).
+
+        The server reads the store fresh from disk, so the figures are
+        per shard (``shards``) and per target (``by_target``) and
+        include appends from every worker process sharing the store.
+        Raises :class:`ServiceError` with status 404 when the service
+        runs without a profile store.
+        """
+
+        return self._request("GET", "/v1/store")
+
     def fleet_metrics(self) -> Dict[str, Any]:
         """The merged fleet snapshot (``GET /v1/metrics/fleet.json``).
 

@@ -80,10 +80,13 @@ class JobQueue:
         The :class:`JobStore` recording every job's lifecycle.
     profile_store:
         Optional path to the shared measurement
-        :class:`~repro.profiling.store.ProfileStore`.  Every job session
-        opens its own store object on this path (the store file is
-        flock-safe), so a re-submitted plan replays measurements instead
-        of re-simulating them.
+        :class:`~repro.profiling.store.ProfileStore` — a legacy flat
+        JSONL file or a sharded store directory (auto-detected).  Every
+        job session opens its own store object on this path (the shard
+        files are flock-safe), so a re-submitted plan replays
+        measurements instead of re-simulating them, and jobs writing to
+        different targets append to different shards without contending
+        on one inode.
     executor / jobs:
         Default :data:`~repro.api.executor.EXECUTORS` backend name and
         worker bound applied to submissions that do not choose their own.

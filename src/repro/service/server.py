@@ -186,6 +186,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 return self._post_cancel(rest[1])
             if method == "GET" and rest == ["fleet"]:
                 return self._get_fleet()
+            if method == "GET" and rest == ["store"]:
+                return self._get_store()
             if method == "GET" and rest == ["metrics"]:
                 return self._get_metrics()
             if method == "GET" and rest == ["metrics.json"]:
@@ -260,6 +262,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         except QueueClosedError as error:
             raise _ApiError(503, str(error)) from error
         self._send_json(self._store.snapshot(job.id), status=202)
+
+    def _get_store(self) -> None:
+        from ..profiling.store import ProfileStore, ProfileStoreError
+
+        path = self.server.job_queue.profile_store
+        if path is None:
+            raise _ApiError(404, "this service runs without a profile store")
+        try:
+            # A fresh read-only store object per request: file_stats()
+            # reads straight from disk, so the figures include appends
+            # from every process sharing the store, per shard.
+            stats = ProfileStore(path).file_stats()
+        except ProfileStoreError as error:
+            raise _ApiError(500, str(error)) from error
+        stats["path"] = path
+        self._send_json(stats)
 
     def _get_metrics(self) -> None:
         body = default_registry().render_prometheus().encode("utf-8")

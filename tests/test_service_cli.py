@@ -148,6 +148,40 @@ class TestStoreCommand:
         assert main(["store", "compact"]) == 2
         assert "usage:" in capsys.readouterr().err
 
+    def test_init_creates_a_sharded_store(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main(["store", "init", str(path)]) == 0
+        assert "initialized sharded profile store" in capsys.readouterr().out
+        assert ProfileStore(path).layout == "sharded"
+        # init is idempotent; a flat file at the path is rejected.
+        assert main(["store", "init", str(path)]) == 0
+        capsys.readouterr()
+        flat = self.make_store_with_duplicates(tmp_path)
+        assert main(["store", "init", str(flat)]) == 2
+        assert "migrate" in capsys.readouterr().err
+
+    def test_compact_shard_migrates_a_flat_store(self, tmp_path, capsys):
+        path = self.make_store_with_duplicates(tmp_path)
+        assert main(["store", "compact", str(path), "--shard"]) == 0
+        output = capsys.readouterr().out
+        assert "migrated" in output and "sharded layout" in output
+        assert "dropped 1" in output
+        migrated = ProfileStore(path)
+        assert migrated.layout == "sharded"
+        assert len(migrated) == 3
+
+    def test_stats_on_a_sharded_store_breaks_figures_down_per_shard(
+        self, tmp_path, capsys
+    ):
+        path = self.make_store_with_duplicates(tmp_path)
+        assert main(["store", "compact", str(path), "--shard"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "layout:       sharded" in output
+        assert "shard " in output
+        assert "target acl-gemm@mali-g72: 3 entr(y/ies), 3 measurement(s)" in output
+
 
 class TestServeCommand:
     def test_occupied_port_exits_2(self, capsys):

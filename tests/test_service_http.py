@@ -291,6 +291,46 @@ class TestTraceHeaderHardening:
         assert client.wait(job["id"], timeout=120.0)["status"] == "succeeded"
 
 
+class TestStoreEndpoint:
+    def test_store_stats_report_per_target_and_per_shard_figures(
+        self, client, server
+    ):
+        plan = Plan()
+        plan.sweep(TARGETS[0], LAYER, sweep_step=8)
+        client.wait(client.submit(plan)["id"], timeout=30.0)
+
+        stats = client.store_stats()
+        assert stats["layout"] == "flat"
+        assert stats["path"] == server.queue.profile_store
+        assert stats["entries"] > 0
+        assert stats["by_target"]  # library@device breakdown present
+        assert "legacy" in stats["shards"]
+
+    def test_store_endpoint_reflects_a_migrated_sharded_store(
+        self, client, server
+    ):
+        from repro.profiling.store import ProfileStore
+
+        plan = Plan()
+        plan.sweep(TARGETS, LAYER, sweep_step=8)
+        client.wait(client.submit(plan)["id"], timeout=30.0)
+        ProfileStore(server.queue.profile_store).compact(shard=True)
+
+        stats = client.store_stats()
+        assert stats["layout"] == "sharded"
+        assert len(stats["shards"]) == len(TARGETS)
+        # A resubmission against the migrated store replays everything.
+        final = client.wait(client.submit(plan)["id"], timeout=30.0)
+        assert final["status"] == "succeeded"
+        assert final["simulations"] == 0
+
+    def test_store_endpoint_is_404_without_a_profile_store(self):
+        with ReproServer() as bare:
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(bare.url, timeout=10.0).store_stats()
+            assert excinfo.value.status == 404
+
+
 class TestFleetStatusQuantiles:
     def test_fresh_fleet_reports_null_claim_wait_percentiles(self, client):
         """Regression: before any claim the p50/p95 must be null, not a
